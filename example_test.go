@@ -1,0 +1,86 @@
+package ocs_test
+
+import (
+	"fmt"
+
+	ocs "repro"
+)
+
+// ExampleConvert shows a format conversion and what it preserves.
+func ExampleConvert() {
+	a, err := ocs.BandedMatrix(1000, 3, 1)
+	if err != nil {
+		panic(err)
+	}
+	d, err := ocs.Convert(a, ocs.DIA)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("format:", d.Format())
+	fmt.Println("nnz preserved:", d.NNZ() == a.NNZ())
+	// Output:
+	// format: DIA
+	// nnz preserved: true
+}
+
+// ExampleCG solves a small SPD system.
+func ExampleCG() {
+	a, err := ocs.Stencil2DMatrix(20) // 400-unknown Poisson problem
+	if err != nil {
+		panic(err)
+	}
+	n, _ := a.Dims()
+	b := make([]float64, n)
+	b[n/2] = 1
+	res, err := ocs.CG(ocs.Ser(a), b, ocs.DefaultSolveOptions(), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	// Output:
+	// converged: true
+}
+
+// ExampleBuildTransition prepares a PageRank run from an adjacency matrix.
+func ExampleBuildTransition() {
+	adj, err := ocs.RMATGraph(8, 7) // 256-page synthetic web graph
+	if err != nil {
+		panic(err)
+	}
+	p, dangling, err := ocs.BuildTransition(adj)
+	if err != nil {
+		panic(err)
+	}
+	res, err := ocs.PageRank(ocs.Ser(p), dangling, ocs.DefaultPageRankOptions(), nil)
+	if err != nil {
+		panic(err)
+	}
+	var mass float64
+	for _, v := range res.X {
+		mass += v
+	}
+	fmt.Printf("converged: %v, total rank mass: %.3f\n", res.Converged, mass)
+	// Output:
+	// converged: true, total rank mass: 1.000
+}
+
+// ExampleMeasureFormatCosts inspects the measured cost structure the
+// selector reasons about.
+func ExampleMeasureFormatCosts() {
+	a, err := ocs.BandedMatrix(4000, 5, 2)
+	if err != nil {
+		panic(err)
+	}
+	costs, err := ocs.MeasureFormatCosts(a)
+	if err != nil {
+		panic(err)
+	}
+	csr := costs[ocs.CSR]
+	fmt.Println("CSR conversion cost:", csr.ConvertNorm)
+	fmt.Println("CSR per-call cost:", csr.SpMVNorm)
+	fmt.Println("DIA measured:", costs[ocs.DIA].ConvertNorm > 0)
+	// Output:
+	// CSR conversion cost: 0
+	// CSR per-call cost: 1
+	// DIA measured: true
+}

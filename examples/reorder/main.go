@@ -1,0 +1,105 @@
+// Reorder: bandwidth reduction as part of the format decision. A banded
+// matrix whose rows were renumbered randomly (the classic FEM
+// bad-node-numbering situation) rejects the DIA format outright; reverse
+// Cuthill-McKee recovers the band, unlocking DIA — but the reordering
+// itself costs real time, so whether to do it is the same
+// overhead-conscious trade-off the paper studies for conversions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	ocs "repro"
+	"repro/internal/reorder"
+	"repro/internal/sparse"
+)
+
+func main() {
+	// A banded matrix with its band hidden by a random renumbering.
+	banded, err := ocs.BandedMatrix(30000, 5, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := banded.Dims()
+	rng := rand.New(rand.NewSource(2))
+	perm := make([]int32, n)
+	for i, p := range rng.Perm(n) {
+		perm[i] = int32(p)
+	}
+	hidden, err := reorder.Apply(banded, perm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("matrix: %d rows, %d nonzeros\n", n, hidden.NNZ())
+	fmt.Printf("bandwidth as given: %d\n", reorder.Bandwidth(hidden))
+	if !sparse.CanConvert(hidden, ocs.DIA, sparse.DefaultLimits) {
+		fmt.Println("DIA: rejected (too many diagonals)")
+	}
+
+	// RCM recovers the band.
+	start := time.Now()
+	rcm, err := reorder.RCM(hidden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recovered, err := reorder.Apply(hidden, rcm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tReorder := time.Since(start)
+	fmt.Printf("\nRCM in %v; bandwidth now: %d\n", tReorder.Round(time.Microsecond), reorder.Bandwidth(recovered))
+
+	// What the reordering is worth. Note the subtlety real measurements
+	// expose: RCM shrinks the bandwidth to ~2x the band population, but the
+	// recovered band is sparse (5 occupied diagonals spread over ~40), so
+	// DIA drowns in padding — the conversion-aware selector would reject
+	// it. The durable win is locality: after RCM, the x-vector accesses of
+	// ANY row-oriented format hit cache, so even plain CSR gets faster.
+	tHidden := timeOneSpMV(hidden)
+	tRecovered := timeOneSpMV(recovered)
+	fmt.Printf("\nCSR SpMV: %.1fus scattered vs %.1fus reordered (%.2fx)\n",
+		tHidden*1e6, tRecovered*1e6, tHidden/tRecovered)
+
+	// And the best format on the reordered matrix, conversion-aware.
+	costs, err := ocs.MeasureFormatCosts(recovered)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bestFmt, bestCost := ocs.CSR, 1.0
+	const horizon = 1000.0 // assume a long solve
+	for f, c := range costs {
+		total := (c.ConvertNorm + horizon*c.SpMVNorm) / horizon
+		if total < bestCost {
+			bestCost = total
+			bestFmt = f
+		}
+	}
+	fmt.Printf("best format at %d calls on the reordered matrix: %v\n", int(horizon), bestFmt)
+
+	// The overhead-conscious question, one level up: at how many SpMV
+	// calls does "reorder first" pay for itself?
+	reorderNorm := tReorder.Seconds() / tHidden
+	perCallGain := 1 - (tRecovered/tHidden)*bestCost
+	fmt.Printf("reordering cost: %.0f SpMV-call equivalents\n", reorderNorm)
+	if perCallGain > 0 {
+		fmt.Printf("break-even: ~%.0f SpMV calls; beyond that, reordering wins\n", reorderNorm/perCallGain)
+	} else {
+		fmt.Println("reordering does not pay on this machine")
+	}
+}
+
+func timeOneSpMV(m *ocs.CSRMatrix) float64 {
+	rows, cols := m.Dims()
+	x := make([]float64, cols)
+	y := make([]float64, rows)
+	m.SpMVParallel(y, x) // warm-up
+	const reps = 9
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		m.SpMVParallel(y, x)
+	}
+	return time.Since(start).Seconds() / reps
+}

@@ -1,0 +1,104 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// BiCGSTAB solves A x = b for general square A with the bi-conjugate
+// gradient stabilized method (van der Vorst). Two SpMV calls per iteration;
+// the progress indicator is ||r||_2.
+func BiCGSTAB(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error) {
+	n, err := squareDims(op)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := opt.validate(); err != nil {
+		return Result{}, err
+	}
+	if len(b) != n {
+		return Result{}, fmt.Errorf("apps: rhs length %d for %d unknowns", len(b), n)
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	rhat := append([]float64(nil), b...) // shadow residual r^ = r0
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	bnorm := vec.Nrm2(b)
+	if bnorm == 0 {
+		return Result{Converged: true, X: x}, nil
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+	res := Result{}
+	record := func(iter int, rnorm float64) {
+		res.Iterations = iter
+		res.Residual = rnorm
+		res.Progress = append(res.Progress, rnorm)
+		if hook != nil {
+			hook(iter, rnorm)
+		}
+	}
+	for iter := 1; iter <= opt.MaxIters; iter++ {
+		rhoNew := vec.Dot(rhat, r)
+		if math.Abs(rhoNew) < 1e-300 {
+			record(iter, vec.Nrm2(r))
+			res.X = x
+			return res, fmt.Errorf("apps: BiCGSTAB breakdown, rho = %g", rhoNew)
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		op.SpMV(v, p)
+		den := vec.Dot(rhat, v)
+		if math.Abs(den) < 1e-300 {
+			record(iter, vec.Nrm2(r))
+			res.X = x
+			return res, fmt.Errorf("apps: BiCGSTAB breakdown, rhat'v = %g", den)
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		snorm := vec.Nrm2(s)
+		if snorm <= opt.Tol*bnorm {
+			vec.Axpy(alpha, p, x)
+			record(iter, snorm)
+			res.Converged = true
+			res.X = x
+			return res, nil
+		}
+		op.SpMV(t, s)
+		tt := vec.Dot(t, t)
+		if tt < 1e-300 {
+			record(iter, snorm)
+			res.X = x
+			return res, fmt.Errorf("apps: BiCGSTAB breakdown, ||t|| = 0")
+		}
+		omega = vec.Dot(t, s) / tt
+		if math.Abs(omega) < 1e-300 {
+			record(iter, snorm)
+			res.X = x
+			return res, fmt.Errorf("apps: BiCGSTAB breakdown, omega = 0")
+		}
+		for i := range x {
+			x[i] += alpha*p[i] + omega*s[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		rnorm := vec.Nrm2(r)
+		record(iter, rnorm)
+		if rnorm <= opt.Tol*bnorm {
+			res.Converged = true
+			break
+		}
+	}
+	res.X = x
+	return res, nil
+}

@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vec"
+)
+
+// SolveOptions configures the linear solvers.
+type SolveOptions struct {
+	// Tol is the convergence tolerance on the relative residual
+	// ||r|| / ||b||; the absolute residual norm is the progress indicator.
+	Tol float64
+	// MaxIters caps the iteration count.
+	MaxIters int
+	// Restart is the GMRES restart length (ignored by CG/BiCGSTAB).
+	Restart int
+}
+
+// DefaultSolveOptions matches the experiments' settings.
+func DefaultSolveOptions() SolveOptions {
+	return SolveOptions{Tol: 1e-8, MaxIters: 10000, Restart: 30}
+}
+
+func (o SolveOptions) validate() error {
+	if o.Tol <= 0 {
+		return fmt.Errorf("apps: non-positive tolerance %g", o.Tol)
+	}
+	if o.MaxIters <= 0 {
+		return fmt.Errorf("apps: non-positive MaxIters %d", o.MaxIters)
+	}
+	return nil
+}
+
+// CG solves A x = b for symmetric positive definite A with the conjugate
+// gradient method. The progress indicator is ||r||_2 per iteration.
+func CG(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error) {
+	n, err := squareDims(op)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := opt.validate(); err != nil {
+		return Result{}, err
+	}
+	if len(b) != n {
+		return Result{}, fmt.Errorf("apps: rhs length %d for %d unknowns", len(b), n)
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b - A*0
+	p := append([]float64(nil), b...)
+	ap := make([]float64, n)
+	bnorm := vec.Nrm2(b)
+	if bnorm == 0 {
+		return Result{Converged: true, X: x}, nil
+	}
+	rsold := vec.Dot(r, r)
+	res := Result{}
+	for iter := 1; iter <= opt.MaxIters; iter++ {
+		op.SpMV(ap, p)
+		pap := vec.Dot(p, ap)
+		if pap <= 0 {
+			// Not SPD (or numerical breakdown): stop with what we have.
+			res.X = x
+			return res, fmt.Errorf("apps: CG breakdown, p'Ap = %g (matrix not SPD?)", pap)
+		}
+		alpha := rsold / pap
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, ap, r)
+		rsnew := vec.Dot(r, r)
+		rnorm := math.Sqrt(rsnew)
+		res.Iterations = iter
+		res.Residual = rnorm
+		res.Progress = append(res.Progress, rnorm)
+		if hook != nil {
+			hook(iter, rnorm)
+		}
+		if rnorm <= opt.Tol*bnorm {
+			res.Converged = true
+			break
+		}
+		beta := rsnew / rsold
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rsold = rsnew
+	}
+	res.X = x
+	return res, nil
+}

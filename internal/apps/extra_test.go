@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestJacobiSolvesDominantSystem(t *testing.T) {
+	a, b, _ := spdSystem(t, 150, 20)
+	n, _ := a.Dims()
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = a.At(i, i)
+	}
+	opt := DefaultSolveOptions()
+	opt.Tol = 1e-8
+	opt.MaxIters = 100000
+	res, err := Jacobi(Ser(a), diag, b, 1.0, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("Jacobi did not converge (res %g after %d)", res.Residual, res.Iterations)
+	}
+	checkSolution(t, a, res.X, b, 1e-6, "Jacobi")
+}
+
+func TestJacobiValidation(t *testing.T) {
+	a, b, _ := spdSystem(t, 10, 21)
+	diag := make([]float64, 10)
+	for i := range diag {
+		diag[i] = a.At(i, i)
+	}
+	if _, err := Jacobi(Ser(a), diag[:5], b, 1.0, DefaultSolveOptions(), nil); err == nil {
+		t.Error("short diag accepted")
+	}
+	if _, err := Jacobi(Ser(a), diag, b, 1.5, DefaultSolveOptions(), nil); err == nil {
+		t.Error("omega > 1 accepted")
+	}
+	zeroDiag := make([]float64, 10)
+	if _, err := Jacobi(Ser(a), zeroDiag, b, 1.0, DefaultSolveOptions(), nil); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+	if _, err := Jacobi(Ser(a), diag, make([]float64, 10), 1.0, DefaultSolveOptions(), nil); err != nil {
+		t.Errorf("zero rhs: %v", err)
+	}
+}
+
+func TestPowerMethodKnownEigenvalue(t *testing.T) {
+	// Diagonal matrix: dominant eigenvalue is the largest diagonal entry.
+	dense := make([]float64, 16)
+	vals := []float64{1, 7, 3, 5}
+	for i, v := range vals {
+		dense[i*4+i] = v
+	}
+	a, err := sparse.FromDense(4, 4, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultSolveOptions()
+	opt.Tol = 1e-12
+	opt.MaxIters = 10000
+	res, err := PowerMethod(Ser(a), opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("power method did not converge")
+	}
+	if math.Abs(res.Eigenvalue-7) > 1e-6 {
+		t.Errorf("eigenvalue %g, want 7", res.Eigenvalue)
+	}
+	// Eigenvector concentrated on index 1.
+	if math.Abs(math.Abs(res.X[1])-1) > 1e-4 {
+		t.Errorf("eigenvector %v, want e_1", res.X)
+	}
+}
+
+func TestPowerMethodOnSPD(t *testing.T) {
+	a, _, _ := spdSystem(t, 120, 22)
+	opt := DefaultSolveOptions()
+	opt.Tol = 1e-10
+	opt.MaxIters = 50000
+	res, err := PowerMethod(Ser(a), opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("power method did not converge on SPD matrix")
+	}
+	// Verify A v ~ lambda v.
+	n, _ := a.Dims()
+	av := make([]float64, n)
+	a.SpMV(av, res.X)
+	for i := range av {
+		if math.Abs(av[i]-res.Eigenvalue*res.X[i]) > 1e-4*(1+math.Abs(res.Eigenvalue)) {
+			t.Fatalf("A v != lambda v at %d: %g vs %g", i, av[i], res.Eigenvalue*res.X[i])
+		}
+	}
+}
+
+func TestPowerMethodZeroMatrix(t *testing.T) {
+	a, err := sparse.NewCSR(5, 5, make([]int, 6), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PowerMethod(Ser(a), DefaultSolveOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Eigenvalue != 0 {
+		t.Errorf("zero matrix: converged=%v lambda=%g", res.Converged, res.Eigenvalue)
+	}
+}
+
+func TestPowerMethodHookAndProgress(t *testing.T) {
+	a, _, _ := spdSystem(t, 80, 23)
+	count := 0
+	res, err := PowerMethod(Ser(a), DefaultSolveOptions(), func(it int, p float64) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != res.Iterations || len(res.Progress) != res.Iterations {
+		t.Errorf("hook %d, progress %d, iterations %d", count, len(res.Progress), res.Iterations)
+	}
+}

@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"testing"
+)
+
+func TestPCGMatchesCGWithIdentity(t *testing.T) {
+	a, b, _ := spdSystem(t, 200, 30)
+	ref, err := CG(Ser(a), b, DefaultSolveOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PCG(Ser(a), IdentityPreconditioner{}, b, DefaultSolveOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("identity-PCG did not converge")
+	}
+	if d := res.Iterations - ref.Iterations; d < -1 || d > 1 {
+		t.Errorf("identity-PCG took %d iterations vs CG %d", res.Iterations, ref.Iterations)
+	}
+	checkSolution(t, a, res.X, b, 1e-6, "PCG/identity")
+}
+
+func TestPCGJacobiAcceleratesScaledSystem(t *testing.T) {
+	// A badly row-scaled SPD system: Jacobi preconditioning should cut the
+	// iteration count substantially versus plain CG.
+	a, b, _ := spdSystem(t, 300, 31)
+	n, _ := a.Dims()
+	// Scale row/col i by s_i, keeping symmetry: A' = D A D.
+	scaled := a.Clone()
+	scale := make([]float64, n)
+	for i := range scale {
+		scale[i] = 1 + 99*float64(i%7)/6 // 1..100
+	}
+	for i := 0; i < n; i++ {
+		for k := scaled.Ptr[i]; k < scaled.Ptr[i+1]; k++ {
+			scaled.Data[k] *= scale[i] * scale[scaled.Col[k]]
+		}
+	}
+	opt := DefaultSolveOptions()
+	opt.MaxIters = 100000
+	plain, err := CG(Ser(scaled), b, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := NewJacobiPreconditioner(scaled.Diag())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcg, err := PCG(Ser(scaled), pre, b, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged || !pcg.Converged {
+		t.Fatalf("convergence: CG %v (%d), PCG %v (%d)", plain.Converged, plain.Iterations, pcg.Converged, pcg.Iterations)
+	}
+	if pcg.Iterations >= plain.Iterations {
+		t.Errorf("Jacobi PCG took %d iterations, plain CG %d: no acceleration", pcg.Iterations, plain.Iterations)
+	}
+	checkSolution(t, scaled, pcg.X, b, 1e-6, "PCG/Jacobi")
+}
+
+func TestPCGNilPreconditionerDefaults(t *testing.T) {
+	a, b, _ := spdSystem(t, 80, 32)
+	res, err := PCG(Ser(a), nil, b, DefaultSolveOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("nil-preconditioner PCG did not converge")
+	}
+}
+
+func TestJacobiPreconditionerValidation(t *testing.T) {
+	if _, err := NewJacobiPreconditioner([]float64{1, 0, 2}); err == nil {
+		t.Error("zero diagonal accepted")
+	}
+}
+
+func TestPCGZeroRHS(t *testing.T) {
+	a, _, _ := spdSystem(t, 40, 33)
+	res, err := PCG(Ser(a), nil, make([]float64, 40), DefaultSolveOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("zero rhs not immediately converged")
+	}
+}

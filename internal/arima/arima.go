@@ -1,0 +1,301 @@
+// Package arima implements ARIMA(p,d,q) time-series models fitted with the
+// Hannan-Rissanen two-stage procedure (a long autoregression provides
+// innovation estimates, then AR and MA coefficients come from one least
+// squares regression). The paper's stage-1 "lazy-and-light" predictor uses
+// an ARIMA model over a loop's progress indicators to forecast the loop
+// tripcount; see the Tripcount type in tripcount.go.
+package arima
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted ARIMA(p,d,q) model with an intercept on the differenced
+// scale. It retains the training series so Forecast can integrate back to
+// the original scale.
+type Model struct {
+	P, D, Q   int
+	Phi       []float64 // AR coefficients, Phi[0] multiplies z_{t-1}
+	Theta     []float64 // MA coefficients, Theta[0] multiplies e_{t-1}
+	Intercept float64
+
+	series []float64 // original series
+	z      []float64 // differenced series
+	resid  []float64 // in-sample innovations on the differenced scale
+}
+
+// Fit estimates an ARIMA(p,d,q) model from the series. The series must be
+// long enough that after d differences at least p+q+8 observations remain.
+func Fit(series []float64, p, d, q int) (*Model, error) {
+	if p < 0 || d < 0 || q < 0 {
+		return nil, fmt.Errorf("arima: negative order (%d,%d,%d)", p, d, q)
+	}
+	for _, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("arima: series contains NaN/Inf")
+		}
+	}
+	z := append([]float64(nil), series...)
+	for i := 0; i < d; i++ {
+		z = diff(z)
+	}
+	minObs := p + q + 8
+	if len(z) < minObs {
+		return nil, fmt.Errorf("arima: %d observations after differencing, need >= %d", len(z), minObs)
+	}
+	m := &Model{P: p, D: d, Q: q, series: append([]float64(nil), series...), z: z}
+
+	// Stage 1: long AR to estimate innovations (only needed when q > 0).
+	var innov []float64
+	if q > 0 {
+		long := p + q + 4
+		if long > len(z)/2 {
+			long = len(z) / 2
+		}
+		if long < 1 {
+			long = 1
+		}
+		arPhi, arC, err := fitARLS(z, long)
+		if err != nil {
+			return nil, err
+		}
+		innov = make([]float64, len(z))
+		for t := long; t < len(z); t++ {
+			pred := arC
+			for i, ph := range arPhi {
+				pred += ph * z[t-1-i]
+			}
+			innov[t] = z[t] - pred
+		}
+	}
+
+	// Stage 2: regress z_t on its own lags and lagged innovations.
+	start := p
+	if q > 0 {
+		// Innovations are only valid from index long onward; be safe and
+		// start late enough for both.
+		if s := p + q + 4; s > start {
+			start = s
+		}
+		if start+q > len(z) {
+			start = len(z) - 1
+		}
+	}
+	nobs := len(z) - start
+	if nobs < p+q+2 {
+		return nil, fmt.Errorf("arima: too few observations (%d) for order (%d,%d,%d)", nobs, p, d, q)
+	}
+	cols := 1 + p + q
+	X := make([][]float64, nobs)
+	y := make([]float64, nobs)
+	for t := start; t < len(z); t++ {
+		row := make([]float64, cols)
+		row[0] = 1
+		for i := 0; i < p; i++ {
+			row[1+i] = z[t-1-i]
+		}
+		for j := 0; j < q; j++ {
+			row[1+p+j] = innov[t-1-j]
+		}
+		X[t-start] = row
+		y[t-start] = z[t]
+	}
+	beta, err := solveOLS(X, y, 1e-8)
+	if err != nil {
+		return nil, err
+	}
+	m.Intercept = beta[0]
+	m.Phi = beta[1 : 1+p]
+	m.Theta = beta[1+p:]
+
+	// In-sample residuals under the fitted model (for MA forecasting).
+	m.resid = make([]float64, len(z))
+	for t := 0; t < len(z); t++ {
+		pred := m.Intercept
+		ok := true
+		for i, ph := range m.Phi {
+			if t-1-i < 0 {
+				ok = false
+				break
+			}
+			pred += ph * z[t-1-i]
+		}
+		if ok {
+			for j, th := range m.Theta {
+				if t-1-j < 0 {
+					ok = false
+					break
+				}
+				pred += th * m.resid[t-1-j]
+			}
+		}
+		if ok {
+			m.resid[t] = z[t] - pred
+		}
+	}
+	return m, nil
+}
+
+// Forecast predicts the next h values of the original series.
+func (m *Model) Forecast(h int) []float64 {
+	if h <= 0 {
+		return nil
+	}
+	// Forecast on the differenced scale with future innovations = 0.
+	z := append([]float64(nil), m.z...)
+	resid := append([]float64(nil), m.resid...)
+	zf := make([]float64, 0, h)
+	for step := 0; step < h; step++ {
+		t := len(z)
+		pred := m.Intercept
+		for i, ph := range m.Phi {
+			idx := t - 1 - i
+			if idx >= 0 {
+				pred += ph * z[idx]
+			}
+		}
+		for j, th := range m.Theta {
+			idx := t - 1 - j
+			if idx >= 0 {
+				pred += th * resid[idx]
+			}
+		}
+		z = append(z, pred)
+		resid = append(resid, 0)
+		zf = append(zf, pred)
+	}
+	// Integrate back d times. After one integration level the forecast of
+	// the less-differenced series is lastValue + cumulative sum.
+	out := zf
+	for level := m.D; level >= 1; level-- {
+		base := lastOfDiff(m.series, level-1)
+		integ := make([]float64, len(out))
+		acc := base
+		for i, v := range out {
+			acc += v
+			integ[i] = acc
+		}
+		out = integ
+	}
+	return out
+}
+
+// lastOfDiff returns the final value of the series differenced `level`
+// times.
+func lastOfDiff(series []float64, level int) float64 {
+	z := append([]float64(nil), series...)
+	for i := 0; i < level; i++ {
+		z = diff(z)
+	}
+	if len(z) == 0 {
+		return 0
+	}
+	return z[len(z)-1]
+}
+
+// diff returns the first difference of the series.
+func diff(x []float64) []float64 {
+	if len(x) <= 1 {
+		return nil
+	}
+	out := make([]float64, len(x)-1)
+	for i := 1; i < len(x); i++ {
+		out[i-1] = x[i] - x[i-1]
+	}
+	return out
+}
+
+// fitARLS fits an AR(p) model with intercept by least squares, returning
+// the coefficients and intercept.
+func fitARLS(z []float64, p int) (phi []float64, c float64, err error) {
+	n := len(z) - p
+	if n < p+2 {
+		return nil, 0, fmt.Errorf("arima: series too short for AR(%d)", p)
+	}
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for t := p; t < len(z); t++ {
+		row := make([]float64, p+1)
+		row[0] = 1
+		for i := 0; i < p; i++ {
+			row[1+i] = z[t-1-i]
+		}
+		X[t-p] = row
+		y[t-p] = z[t]
+	}
+	beta, err := solveOLS(X, y, 1e-8)
+	if err != nil {
+		return nil, 0, err
+	}
+	return beta[1:], beta[0], nil
+}
+
+// solveOLS solves min ||X b - y||^2 via ridge-stabilized normal equations
+// with Gaussian elimination and partial pivoting. ridge is added to the
+// diagonal to keep collinear designs solvable.
+func solveOLS(X [][]float64, y []float64, ridge float64) ([]float64, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("arima: OLS shape mismatch (%d rows, %d targets)", n, len(y))
+	}
+	m := len(X[0])
+	// A = X'X + ridge*I, b = X'y.
+	A := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		A[i] = make([]float64, m)
+		A[i][i] = ridge
+	}
+	for r := 0; r < n; r++ {
+		row := X[r]
+		if len(row) != m {
+			return nil, fmt.Errorf("arima: OLS row %d has %d columns, want %d", r, len(row), m)
+		}
+		for i := 0; i < m; i++ {
+			for j := i; j < m; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+			b[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < m; col++ {
+		piv := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(A[piv][col]) < 1e-300 {
+			return nil, fmt.Errorf("arima: singular normal equations at column %d", col)
+		}
+		A[col], A[piv] = A[piv], A[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / A[col][col]
+		for r := col + 1; r < m; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < m; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	out := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < m; j++ {
+			s -= A[i][j] * out[j]
+		}
+		out[i] = s / A[i][i]
+	}
+	return out, nil
+}

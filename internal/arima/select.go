@@ -1,0 +1,69 @@
+package arima
+
+import (
+	"fmt"
+	"math"
+)
+
+// AIC returns the Akaike information criterion of the fitted model under a
+// Gaussian innovation assumption: n*ln(SSE/n) + 2k, computed over the
+// residuals that have full lag support. Lower is better.
+func (m *Model) AIC() float64 {
+	skip := m.P + m.Q
+	if skip >= len(m.resid) {
+		return math.Inf(1)
+	}
+	var sse float64
+	n := 0
+	for t := skip; t < len(m.resid); t++ {
+		sse += m.resid[t] * m.resid[t]
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	if sse <= 0 {
+		sse = 1e-300 // perfect fit: avoid -Inf while still ranking best
+	}
+	k := float64(1 + m.P + m.Q) // intercept + coefficients
+	return float64(n)*math.Log(sse/float64(n)) + 2*k
+}
+
+// OrderLimits bounds the order search of AutoFit.
+type OrderLimits struct {
+	MaxP, MaxD, MaxQ int
+}
+
+// DefaultOrderLimits is a small grid adequate for convergence-loop series.
+func DefaultOrderLimits() OrderLimits { return OrderLimits{MaxP: 3, MaxD: 1, MaxQ: 1} }
+
+// AutoFit fits every order in the grid and returns the model with the
+// lowest AIC. Orders the series is too short for are skipped; an error is
+// returned only when no order fits at all.
+func AutoFit(series []float64, lim OrderLimits) (*Model, error) {
+	var best *Model
+	bestAIC := math.Inf(1)
+	var lastErr error
+	for d := 0; d <= lim.MaxD; d++ {
+		for p := 0; p <= lim.MaxP; p++ {
+			for q := 0; q <= lim.MaxQ; q++ {
+				if p == 0 && q == 0 && d == 0 {
+					continue // a bare intercept never forecasts usefully
+				}
+				m, err := Fit(series, p, d, q)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				if aic := m.AIC(); aic < bestAIC {
+					bestAIC = aic
+					best = m
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("arima: no order in grid fits the series: %w", lastErr)
+	}
+	return best, nil
+}

@@ -1,0 +1,72 @@
+package arima
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAICPrefersParsimony(t *testing.T) {
+	// Pure AR(1) data: AR(1) should beat AR(3) on AIC (same fit, fewer
+	// parameters).
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, 400)
+	for i := 1; i < len(series); i++ {
+		series[i] = 0.7*series[i-1] + rng.NormFloat64()*0.2
+	}
+	m1, err := Fit(series, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Fit(series, 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.AIC() >= m3.AIC()+6 {
+		// AR(3) nests AR(1); its AIC can be at most slightly better by
+		// chance but the 2k penalty should keep AR(1) competitive.
+		t.Errorf("AIC(AR1) = %.1f much worse than AIC(AR3) = %.1f", m1.AIC(), m3.AIC())
+	}
+}
+
+func TestAutoFitFindsWorkingOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	series := make([]float64, 120)
+	for i := 1; i < len(series); i++ {
+		series[i] = 1 + 0.5*series[i-1] + rng.NormFloat64()*0.1
+	}
+	m, err := AutoFit(series, DefaultOrderLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(10)
+	for _, v := range fc {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("AutoFit forecast produced %v", v)
+		}
+	}
+}
+
+func TestAutoFitLinearTrendPicksDifferencing(t *testing.T) {
+	series := make([]float64, 60)
+	for i := range series {
+		series[i] = 2 + 3*float64(i)
+	}
+	m, err := AutoFit(series, DefaultOrderLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := m.Forecast(3)
+	for i, v := range fc {
+		want := 2 + 3*float64(60+i)
+		if math.Abs(v-want) > 1 {
+			t.Errorf("forecast[%d] = %g, want ~%g (order %d,%d,%d)", i, v, want, m.P, m.D, m.Q)
+		}
+	}
+}
+
+func TestAutoFitTooShort(t *testing.T) {
+	if _, err := AutoFit([]float64{1, 2}, DefaultOrderLimits()); err == nil {
+		t.Error("AutoFit accepted a 2-point series")
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/sparse"
+)
+
+// Stats records what the adaptive wrapper did during one run, for the
+// experiment harness and for users who want to audit the selector.
+type Stats struct {
+	// Iterations is the number of progress indicators observed.
+	Iterations int
+	// Stage1Ran reports whether the lazy tripcount prediction fired.
+	Stage1Ran bool
+	// PredictedTotal is stage 1's tripcount estimate (0 if stage 1 never ran).
+	PredictedTotal int
+	// Stage2Ran reports whether feature extraction + model inference ran.
+	Stage2Ran bool
+	// Decision is the stage-2 outcome (zero value if stage 2 never ran).
+	Decision Decision
+	// Converted reports whether the matrix was re-formatted.
+	Converted bool
+	// Format is the format SpMV is currently running on.
+	Format sparse.Format
+	// FeatureSeconds, PredictSeconds and ConvertSeconds are the measured
+	// runtime overheads of stage 2 (the paper's T_predict and T_convert).
+	FeatureSeconds float64
+	PredictSeconds float64
+	ConvertSeconds float64
+}
+
+// Adaptive wraps a CSR matrix with the two-stage lazy-and-light scheme. The
+// application calls SpMV as usual and reports its convergence progress
+// indicator once per loop iteration via RecordProgress; after K iterations
+// the wrapper may transparently convert the matrix to a better format.
+//
+// Adaptive is not safe for concurrent use (it mirrors a single solver loop).
+type Adaptive struct {
+	cfg      Config
+	preds    *Predictors
+	tol      float64
+	parallel bool
+
+	csr *sparse.CSR
+	cur sparse.Matrix
+
+	progress []float64
+	decided  bool
+	stats    Stats
+
+	// Self-measured SpMV cost, gathered until the pipeline decision: the
+	// overhead-conscious gate needs to know what one SpMV costs here to
+	// judge whether stage 2's own cost can be amortized.
+	spmvSeconds float64
+	spmvCalls   int
+}
+
+// NewAdaptive wraps a matrix in its default CSR format. tol is the
+// convergence tolerance of the surrounding loop (the stage-1 predictor
+// forecasts when the progress indicator will cross it). parallel selects
+// the goroutine-parallel kernels.
+func NewAdaptive(a *sparse.CSR, tol float64, preds *Predictors, cfg Config, parallel bool) *Adaptive {
+	if cfg.K <= 0 {
+		cfg.K = DefaultConfig().K
+	}
+	if cfg.TH <= 0 {
+		cfg.TH = DefaultConfig().TH
+	}
+	if cfg.Lim == (sparse.Limits{}) {
+		cfg.Lim = sparse.DefaultLimits
+	}
+	if cfg.Tripcount.MaxIters <= 0 {
+		cfg.Tripcount = DefaultConfig().Tripcount
+	}
+	return &Adaptive{
+		cfg:      cfg,
+		preds:    preds,
+		tol:      tol,
+		parallel: parallel,
+		csr:      a,
+		cur:      a,
+		stats:    Stats{Format: sparse.FmtCSR},
+	}
+}
+
+// Dims implements the solver Operator contract.
+func (ad *Adaptive) Dims() (int, int) { return ad.csr.Dims() }
+
+// SpMV computes y = A*x on whichever format the matrix currently has.
+// Until the pipeline decision the calls are timed (two time.Now calls,
+// nanoseconds of overhead) so the gate can reason in SpMV units.
+func (ad *Adaptive) SpMV(y, x []float64) {
+	if ad.decided {
+		if ad.parallel {
+			ad.cur.SpMVParallel(y, x)
+		} else {
+			ad.cur.SpMV(y, x)
+		}
+		return
+	}
+	start := time.Now()
+	if ad.parallel {
+		ad.cur.SpMVParallel(y, x)
+	} else {
+		ad.cur.SpMV(y, x)
+	}
+	ad.spmvSeconds += time.Since(start).Seconds()
+	ad.spmvCalls++
+}
+
+// RecordProgress feeds one loop iteration's progress indicator (e.g. the
+// residual norm a solver computes anyway). After the K-th call the
+// lazy-and-light pipeline runs exactly once.
+func (ad *Adaptive) RecordProgress(v float64) {
+	ad.progress = append(ad.progress, v)
+	ad.stats.Iterations = len(ad.progress)
+	if ad.decided || len(ad.progress) < ad.cfg.K {
+		return
+	}
+	ad.decided = true
+	ad.runPipeline()
+}
+
+// runPipeline executes stage 1 and, if the gate opens, stage 2.
+func (ad *Adaptive) runPipeline() {
+	// Stage 1: lazy-and-light tripcount prediction from the progress
+	// series. Its cost is a handful of scalar ops — the paper measures ~2ms
+	// for its ARIMA, ours is cheaper still — but we time it anyway.
+	start := time.Now()
+	total, err := ad.cfg.Tripcount.PredictTotal(ad.progress, ad.tol)
+	ad.stats.PredictSeconds += time.Since(start).Seconds()
+	ad.stats.Stage1Ran = true
+	if err != nil {
+		return
+	}
+	ad.stats.PredictedTotal = total
+	remaining := total - len(ad.progress)
+	if remaining < ad.cfg.TH {
+		return // loop predicted too short: conversion can't pay off
+	}
+	if ad.preds == nil {
+		return
+	}
+	// Overhead-conscious gate on stage 2 itself: estimate the feature
+	// extraction cost in units of this run's self-measured SpMV time and
+	// require enough remaining iterations to plausibly amortize it.
+	if ad.cfg.GateOverheadFactor > 0 && ad.cfg.FeatureSecondsPerNNZ > 0 && ad.spmvCalls > 0 {
+		avgSpMV := ad.spmvSeconds / float64(ad.spmvCalls)
+		if avgSpMV > 0 {
+			est := ad.cfg.PredictFixedSeconds + ad.cfg.FeatureSecondsPerNNZ*float64(ad.csr.NNZ())
+			overheadNorm := est / avgSpMV
+			if float64(remaining) < ad.cfg.GateOverheadFactor*overheadNorm {
+				return
+			}
+		}
+	}
+
+	// Stage 2: feature extraction (the dominant prediction overhead), model
+	// inference, cost-benefit argmin.
+	start = time.Now()
+	fs := features.Extract(ad.csr)
+	bsrBlocks := features.CountBlocks(ad.csr, ad.cfg.Lim.BSRBlockSize)
+	ad.stats.FeatureSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	d := ad.preds.Decide(fs, bsrBlocks, float64(remaining), ad.cfg.Lim, ad.cfg.Margin)
+	ad.stats.PredictSeconds += time.Since(start).Seconds()
+	ad.stats.Stage2Ran = true
+	ad.stats.Decision = d
+	if d.Format == sparse.FmtCSR {
+		return
+	}
+
+	start = time.Now()
+	m, err := sparse.ConvertFromCSR(ad.csr, d.Format, ad.cfg.Lim)
+	ad.stats.ConvertSeconds = time.Since(start).Seconds()
+	if err != nil {
+		// The validity pre-check should prevent this; fall back to CSR.
+		return
+	}
+	ad.cur = m
+	ad.stats.Converted = true
+	ad.stats.Format = d.Format
+}
+
+// Stats returns a copy of the run's bookkeeping.
+func (ad *Adaptive) Stats() Stats { return ad.stats }
+
+// Format returns the format SpMV currently runs on.
+func (ad *Adaptive) Format() sparse.Format { return ad.stats.Format }
+
+// OverheadSeconds is the total measured selector overhead (T_predict +
+// T_convert) of this run.
+func (ad *Adaptive) OverheadSeconds() float64 {
+	return ad.stats.FeatureSeconds + ad.stats.PredictSeconds + ad.stats.ConvertSeconds
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+	"repro/internal/trainer"
+)
+
+// ---------------------------------------------------------------------------
+// A4 — value of extending the format pool (the paper's §V-A remark that the
+// approach "can be easily extended to the selection of other formats").
+//
+// The ablation compares the oracle overhead-conscious selection restricted
+// to the paper's seven formats against the same selection over the pool
+// including SELL-C-sigma, across several loop lengths. Any gain is benefit
+// the extension delivers without touching the selection machinery.
+
+// AblationSELLRow is one loop-length comparison.
+type AblationSELLRow struct {
+	Iters float64
+	// PaperPool / ExtendedPool are geometric-mean realized speedups.
+	PaperPool, ExtendedPool float64
+	// SELLWins counts matrices where SELL is the extended pool's choice.
+	SELLWins int
+}
+
+// AblationSELL is the format-pool ablation result.
+type AblationSELL struct {
+	Rows []AblationSELLRow
+}
+
+// RunAblationSELL evaluates both pools with oracle costs on the evaluation
+// corpus.
+func (c *Context) RunAblationSELL(iters ...float64) *AblationSELL {
+	if len(iters) == 0 {
+		iters = []float64{50, 200, 1000, 5000}
+	}
+	out := &AblationSELL{}
+	for _, it := range iters {
+		row := AblationSELLRow{Iters: it}
+		var paper, ext []float64
+		for i := range c.EvalSamples {
+			s := &c.EvalSamples[i]
+			fPaper := oracleDecidePool(s, it, sparse.PaperFormats)
+			fExt := oracleDecidePool(s, it, sparse.AllFormats)
+			paper = append(paper, it/realizedCost(s, fPaper, it))
+			ext = append(ext, it/realizedCost(s, fExt, it))
+			if fExt == sparse.FmtSELL {
+				row.SELLWins++
+			}
+		}
+		row.PaperPool = geomean(paper)
+		row.ExtendedPool = geomean(ext)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// oracleDecidePool is core.OracleDecide restricted to a format pool.
+func oracleDecidePool(s *trainer.Sample, remaining float64, pool []sparse.Format) sparse.Format {
+	best := sparse.FmtCSR
+	bestCost := remaining
+	for _, f := range pool {
+		if f == sparse.FmtCSR {
+			continue
+		}
+		conv, ok1 := s.ConvNorm[f]
+		spmv, ok2 := s.SpMVNorm[f]
+		if !ok1 || !ok2 {
+			continue
+		}
+		cost := conv + spmv*remaining
+		if cost < bestCost {
+			bestCost = cost
+			best = f
+		}
+	}
+	return best
+}
+
+// Render prints the comparison.
+func (a *AblationSELL) Render() string {
+	var rows [][]string
+	for _, r := range a.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%g", r.Iters),
+			fmt.Sprintf("%.3f", r.PaperPool),
+			fmt.Sprintf("%.3f", r.ExtendedPool),
+			fmt.Sprintf("%d", r.SELLWins),
+		})
+	}
+	return "Ablation A4: format pool with/without the SELL-C-sigma extension (oracle selection)\n" +
+		table([]string{"Iters", "Paper pool", "With SELL", "SELL chosen"}, rows)
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CSV renderers for the plottable artifacts, so the figures can be
+// regenerated in any plotting tool from `ocsel exp <id> -csv` output.
+
+// CSV returns Figure 5 as comma-separated series.
+func (f *Fig5) CSV() string {
+	var b strings.Builder
+	b.WriteString("iters,speedup_oc,ub_oc,ub_oo\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%g,%.6f,%.6f,%.6f\n", p.Iters, p.SpeedupOC, p.UBOC, p.UBOO)
+	}
+	return b.String()
+}
+
+// CSV returns the histogram buckets as comma-separated rows.
+func (h *Histogram) CSV() string {
+	var b strings.Builder
+	b.WriteString("bucket_lo,bucket_hi,count\n")
+	for i, n := range h.Counts {
+		hi := fmt.Sprintf("%g", h.Edges[i+1])
+		if math.IsInf(h.Edges[i+1], 1) {
+			hi = "inf"
+		}
+		fmt.Fprintf(&b, "%g,%s,%d\n", h.Edges[i], hi, n)
+	}
+	return b.String()
+}
+
+// CSV returns Table VI as comma-separated rows.
+func (t *Table6) CSV() string {
+	var b strings.Builder
+	b.WriteString("application,runs,iter_min,iter_max,ub_oo,ub_oc,speedup_oc\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%.6f,%.6f,%.6f\n",
+			r.App, r.Runs, r.IterMin, r.IterMax, r.UBOO, r.UBOC, r.SpeedupOC)
+	}
+	return b.String()
+}
+
+// CSV returns Table III as comma-separated rows.
+func (t *Table3) CSV() string {
+	var b strings.Builder
+	b.WriteString("format,valid,min,median,max,mean\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%d,%.4f,%.4f,%.4f,%.4f\n",
+			r.Format, r.NumValid, r.Min, r.Median, r.Max, r.MeanNormalization)
+	}
+	return b.String()
+}
+
+// CSV returns Table V as comma-separated rows.
+func (t *Table5) CSV() string {
+	var b strings.Builder
+	b.WriteString("format,matrices,conv_error,spmv_error\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%d,%.6f,%.6f\n", r.Format, r.NumValid, r.ConvError, r.SpMVError)
+	}
+	return b.String()
+}

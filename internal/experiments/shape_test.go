@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The CheckShape helpers gate the reproduction's headline claims; verify
+// they actually reject violations, not just accept the happy path.
+
+func TestFig5CheckShapeRejectsViolations(t *testing.T) {
+	good := Fig5Point{Iters: 10, SpeedupOC: 1.0, UBOC: 1.0, UBOO: 0.5}
+	cases := map[string]*Fig5{
+		"empty": {},
+		"oo not slowing down at short loops": {Points: []Fig5Point{
+			{Iters: 10, SpeedupOC: 1.0, UBOC: 1.1, UBOO: 1.2},
+		}},
+		"uboc below 1": {Points: []Fig5Point{
+			good, {Iters: 100, SpeedupOC: 1.0, UBOC: 0.8, UBOO: 0.5},
+		}},
+		"oc slowdown": {Points: []Fig5Point{
+			good, {Iters: 100, SpeedupOC: 0.5, UBOC: 1.2, UBOO: 0.9},
+		}},
+		"uboc below uboo": {Points: []Fig5Point{
+			good, {Iters: 100, SpeedupOC: 1.2, UBOC: 1.2, UBOO: 1.6},
+		}},
+	}
+	for name, f := range cases {
+		if err := f.CheckShape(); err == nil {
+			t.Errorf("%s: CheckShape accepted a violation", name)
+		}
+	}
+	ok := &Fig5{Points: []Fig5Point{
+		good,
+		{Iters: 100, SpeedupOC: 1.3, UBOC: 1.5, UBOO: 1.2},
+	}}
+	if err := ok.CheckShape(); err != nil {
+		t.Errorf("valid shape rejected: %v", err)
+	}
+}
+
+func TestTable6CheckShapeRejectsViolations(t *testing.T) {
+	mk := func(oc, uboo, uboc float64) *Table6 {
+		return &Table6{Rows: []Table6Row{{App: AppCG, SpeedupOC: oc, UBOO: uboo, UBOC: uboc}}}
+	}
+	if err := mk(0.8, 0.7, 1.5).CheckShape(); err == nil {
+		t.Error("aggregate slowdown accepted")
+	}
+	if err := mk(1.1, 1.3, 1.5).CheckShape(); err == nil {
+		t.Error("OC below UB_OO accepted")
+	}
+	if err := mk(1.6, 1.0, 1.5).CheckShape(); err == nil {
+		t.Error("OC above its own upper bound accepted")
+	}
+	if err := mk(1.2, 1.0, 1.5).CheckShape(); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+}
+
+func TestHistogramBucketsAndRender(t *testing.T) {
+	h := buildHistogram("title", []float64{0.1, 0.96, 1.0, 1.3, 3.5})
+	total := 0
+	for _, n := range h.Counts {
+		total += n
+	}
+	if total != 5 {
+		t.Fatalf("histogram holds %d of 5 values", total)
+	}
+	if h.Minimum != 0.1 || h.Maximum != 3.5 {
+		t.Errorf("min/max %g/%g", h.Minimum, h.Maximum)
+	}
+	if got := h.SlowdownFraction(0.95); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("SlowdownFraction(0.95) = %g, want 0.2", got)
+	}
+	if !strings.Contains(h.Render(), "title") {
+		t.Error("render missing title")
+	}
+	// Value beyond the last finite edge lands in the +inf bucket.
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Errorf("inf bucket holds %d, want 1", h.Counts[len(h.Counts)-1])
+	}
+}
+
+func TestQuartilePicks(t *testing.T) {
+	if got := quartilePicks(0, 5); got != nil {
+		t.Errorf("n=0: %v", got)
+	}
+	got := quartilePicks(10, 4)
+	if len(got) != 4 || got[0] != 0 || got[len(got)-1] != 9 {
+		t.Errorf("picks = %v", got)
+	}
+	// k > n deduplicates without panicking.
+	got = quartilePicks(2, 6)
+	if len(got) > 2 {
+		t.Errorf("picks = %v for n=2", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("picks not strictly increasing: %v", got)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := geomean(nil); got != 0 {
+		t.Errorf("geomean(nil) = %g", got)
+	}
+	if got := geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %g, want 4", got)
+	}
+	if got := geomean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Errorf("geomean with negative = %g, want NaN", got)
+	}
+}

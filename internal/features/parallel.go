@@ -1,0 +1,181 @@
+package features
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// extractParallel is the multi-goroutine implementation behind Extract for
+// large matrices. One fused pass over disjoint row ranges gathers, per
+// worker: row-degree statistics, column-degree counts, diagonal occupancy,
+// the neighbor count and the 2x2 block count; a short merge builds the final
+// Set. The result is bit-identical to the serial path (all merges are
+// order-independent integer sums; the float statistics are computed once
+// from the merged integers).
+//
+// Keeping extraction at SpMV-parallel speed matters beyond politeness: the
+// paper's premise is that T_predict costs only 2x-4x of one SpMV call, and
+// the SpMV it runs against is the parallel kernel.
+const parallelExtractMinNNZ = 1 << 15
+
+type workerScratch struct {
+	minRD, maxRD   int
+	sumRD, sumSqRD float64
+	bounce         float64
+	neighbor       int
+	blocks         int
+	cd             []int32 // column degrees
+	diag           []int32 // diagonal occupancy, shifted by rows-1
+}
+
+func extractParallel(a *sparse.CSR, s *Set) {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+
+	p := parallel.Workers()
+	if p > rows {
+		p = rows
+	}
+	// Row ranges aligned to BlockEdge so each 2-row block band has exactly
+	// one owner and block counting cannot double-count.
+	ranges := alignedRanges(rows, p, BlockEdge)
+	scratch := make([]workerScratch, len(ranges))
+
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for w, r := range ranges {
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			ws := &scratch[w]
+			ws.minRD = math.MaxInt64
+			ws.cd = make([]int32, cols)
+			ws.diag = make([]int32, rows+cols-1)
+			mark := make([]int32, (cols+BlockEdge-1)/BlockEdge)
+			for i := range mark {
+				mark[i] = -1
+			}
+			for i := lo; i < hi; i++ {
+				rd := a.Ptr[i+1] - a.Ptr[i]
+				if rd < ws.minRD {
+					ws.minRD = rd
+				}
+				if rd > ws.maxRD {
+					ws.maxRD = rd
+				}
+				ws.sumRD += float64(rd)
+				ws.sumSqRD += float64(rd) * float64(rd)
+				if i > 0 { // gap (i-1, i) owned by the range containing i
+					prev := a.Ptr[i] - a.Ptr[i-1]
+					ws.bounce += math.Abs(float64(rd - prev))
+				}
+				bi := int32(i / BlockEdge)
+				for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+					c := a.Col[k]
+					ws.cd[c]++
+					ws.diag[int(c)-i+rows-1]++
+					if k > a.Ptr[i] && a.Col[k-1] == c-1 {
+						ws.neighbor += 2
+					}
+					bj := int(c) / BlockEdge
+					if mark[bj] != bi {
+						mark[bj] = bi
+						ws.blocks++
+					}
+				}
+				// Vertical matches with row i+1 (read-only on that row).
+				if i+1 < rows {
+					pp, q := a.Ptr[i], a.Ptr[i+1]
+					pEnd, qEnd := a.Ptr[i+1], a.Ptr[i+2]
+					for pp < pEnd && q < qEnd {
+						switch {
+						case a.Col[pp] < a.Col[q]:
+							pp++
+						case a.Col[pp] > a.Col[q]:
+							q++
+						default:
+							ws.neighbor += 2
+							pp++
+							q++
+						}
+					}
+				}
+			}
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+
+	// Merge worker scratch. Row stats and counters are order-independent.
+	minRD, maxRD := math.MaxInt64, 0
+	var sumRD, sumSqRD, bounce float64
+	neighbor, blocks := 0, 0
+	for i := range scratch {
+		ws := &scratch[i]
+		if ws.minRD < minRD {
+			minRD = ws.minRD
+		}
+		if ws.maxRD > maxRD {
+			maxRD = ws.maxRD
+		}
+		sumRD += ws.sumRD
+		sumSqRD += ws.sumSqRD
+		bounce += ws.bounce
+		neighbor += ws.neighbor
+		blocks += ws.blocks
+	}
+	// Column and diagonal arrays merge in parallel over index chunks.
+	cd := scratch[0].cd
+	diag := scratch[0].diag
+	if len(scratch) > 1 {
+		parallel.For(cols, func(lo, hi int) {
+			for w := 1; w < len(scratch); w++ {
+				src := scratch[w].cd
+				for j := lo; j < hi; j++ {
+					cd[j] += src[j]
+				}
+			}
+		})
+		parallel.For(len(diag), func(lo, hi int) {
+			for w := 1; w < len(scratch); w++ {
+				src := scratch[w].diag
+				for j := lo; j < hi; j++ {
+					diag[j] += src[j]
+				}
+			}
+		})
+	}
+
+	fillRowStats(s, rows, minRD, maxRD, sumRD, sumSqRD, bounce)
+	fillColStats(s, cd)
+	fillDiagStats(s, rows, cols, diag)
+	fillDerived(s, nnz, maxRD)
+	s.Blocks = float64(blocks)
+	s.MeanNeighbor = float64(neighbor) / float64(nnz)
+}
+
+// alignedRanges splits [0, n) into at most parts ranges whose boundaries
+// (except 0 and n) are multiples of align.
+func alignedRanges(n, parts, align int) [][2]int {
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([][2]int, 0, parts)
+	lo := 0
+	for w := 0; w < parts && lo < n; w++ {
+		hi := lo + (n-lo)/(parts-w)
+		if w < parts-1 {
+			hi = (hi / align) * align
+			if hi <= lo {
+				hi = lo + align
+			}
+		}
+		if hi > n || w == parts-1 {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+		lo = hi
+	}
+	return out
+}

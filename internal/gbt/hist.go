@@ -1,0 +1,188 @@
+package gbt
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram-based training, the "hist" method of modern boosting systems:
+// feature values are pre-bucketed into quantile bins once, and split search
+// scans per-bin gradient histograms instead of sorting instances at every
+// node. For the selector's small feature sets the exact method is already
+// fast; hist mode exists for corpus-scale training (thousands of matrices)
+// and as a fidelity point against the system the paper uses.
+
+// Method selects the split-finding algorithm.
+type Method int
+
+const (
+	// MethodExact sorts node instances per feature (the default).
+	MethodExact Method = iota
+	// MethodHist uses quantile-binned gradient histograms.
+	MethodHist
+)
+
+// binner holds per-feature quantile cut points. Bin b of feature f covers
+// values v with cuts[f][b-1] <= v < cuts[f][b] (bin 0 is below the first
+// cut); the representative split value between bins b and b+1 is cuts[f][b].
+type binner struct {
+	cuts [][]float64
+}
+
+// newBinner builds quantile cut points (at most maxBins bins per feature).
+func newBinner(x [][]float64, maxBins int) *binner {
+	if maxBins < 2 {
+		maxBins = 2
+	}
+	d := len(x[0])
+	b := &binner{cuts: make([][]float64, d)}
+	vals := make([]float64, len(x))
+	for f := 0; f < d; f++ {
+		for i := range x {
+			vals[i] = x[i][f]
+		}
+		sort.Float64s(vals)
+		// Distinct quantile boundaries.
+		var cuts []float64
+		for q := 1; q < maxBins; q++ {
+			v := vals[q*len(vals)/maxBins]
+			if len(cuts) == 0 || v > cuts[len(cuts)-1] {
+				cuts = append(cuts, v)
+			}
+		}
+		b.cuts[f] = cuts
+	}
+	return b
+}
+
+// binOf returns the bin index of value v in feature f: the number of cut
+// points <= v, so bin b covers [cuts[b-1], cuts[b]). This half-open
+// convention matches Node routing (value < Split goes left) exactly, so a
+// value equal to a cut point is partitioned identically at training and
+// prediction time.
+func (b *binner) binOf(f int, v float64) int {
+	cuts := b.cuts[f]
+	return sort.Search(len(cuts), func(i int) bool { return cuts[i] > v })
+}
+
+// binAll pre-bins the whole matrix.
+func (b *binner) binAll(x [][]float64) [][]uint16 {
+	out := make([][]uint16, len(x))
+	for i, row := range x {
+		r := make([]uint16, len(row))
+		for f, v := range row {
+			r[f] = uint16(b.binOf(f, v))
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// histBuilder is the histogram variant of treeBuilder.
+type histBuilder struct {
+	binned     [][]uint16
+	bins       *binner
+	grad, hess []float64
+	cols       []int
+	p          Params
+	importance []float64
+}
+
+func (b *histBuilder) leafWeight(g, h float64) float64 { return -g / (h + b.p.Lambda) }
+func (b *histBuilder) scoreTerm(g, h float64) float64  { return g * g / (h + b.p.Lambda) }
+
+func (b *histBuilder) build(idx []int, depth int) *Node {
+	var gSum, hSum float64
+	for _, i := range idx {
+		gSum += b.grad[i]
+		hSum += b.hess[i]
+	}
+	leaf := func() *Node {
+		return &Node{Feature: -1, Weight: b.p.LearningRate * b.leafWeight(gSum, hSum)}
+	}
+	if depth >= b.p.MaxDepth || len(idx) < 2*b.p.MinSamplesLeaf || hSum < 2*b.p.MinChildWeight {
+		return leaf()
+	}
+	best := b.bestSplit(idx, gSum, hSum)
+	if best == nil {
+		return leaf()
+	}
+	b.importance[best.feature] += best.gain
+	return &Node{
+		Feature: best.feature,
+		Split:   best.split,
+		Gain:    best.gain,
+		Left:    b.build(best.left, depth+1),
+		Right:   b.build(best.right, depth+1),
+	}
+}
+
+// bestSplit scans per-bin gradient histograms. Split candidates sit at bin
+// boundaries; the recorded split value is the cut point itself, so routing
+// at prediction time (value < split goes left) matches the bin partition.
+func (b *histBuilder) bestSplit(idx []int, gSum, hSum float64) *splitCandidate {
+	parentScore := b.scoreTerm(gSum, hSum)
+	var best *splitCandidate
+	for _, f := range b.cols {
+		cuts := b.bins.cuts[f]
+		nbins := len(cuts) + 1
+		if nbins < 2 {
+			continue
+		}
+		gh := make([]float64, 2*nbins) // interleaved g,h per bin
+		cnt := make([]int, nbins)
+		for _, i := range idx {
+			bin := b.binned[i][f]
+			gh[2*bin] += b.grad[i]
+			gh[2*bin+1] += b.hess[i]
+			cnt[bin]++
+		}
+		var gl, hl float64
+		nl := 0
+		for bin := 0; bin < nbins-1; bin++ {
+			gl += gh[2*bin]
+			hl += gh[2*bin+1]
+			nl += cnt[bin]
+			nr := len(idx) - nl
+			if nl < b.p.MinSamplesLeaf || nr < b.p.MinSamplesLeaf {
+				continue
+			}
+			gr := gSum - gl
+			hr := hSum - hl
+			if hl < b.p.MinChildWeight || hr < b.p.MinChildWeight {
+				continue
+			}
+			gain := 0.5*(b.scoreTerm(gl, hl)+b.scoreTerm(gr, hr)-parentScore) - b.p.Gamma
+			if gain <= 0 {
+				continue
+			}
+			if best == nil || gain > best.gain {
+				if best == nil {
+					best = &splitCandidate{}
+				}
+				best.feature = f
+				best.split = cuts[bin]
+				best.gain = gain
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	fbins := b.bins.cuts[best.feature]
+	splitBin := sort.SearchFloat64s(fbins, best.split) // index of the cut == boundary bin
+	for _, i := range idx {
+		if int(b.binned[i][best.feature]) <= splitBin {
+			best.left = append(best.left, i)
+		} else {
+			best.right = append(best.right, i)
+		}
+	}
+	if len(best.left) == 0 || len(best.right) == 0 {
+		return nil
+	}
+	return best
+}
+
+// errUnknownMethod reports an out-of-range Params.Method.
+func errUnknownMethod(m Method) error { return fmt.Errorf("gbt: unknown method %d", m) }

@@ -1,0 +1,180 @@
+package gbt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistTrainsComparablyToExact(t *testing.T) {
+	train := synthDataset(600, 5, 0.05, 1)
+	test := synthDataset(200, 5, 0.05, 2)
+
+	pe := DefaultParams()
+	exact, err := Train(train, nil, pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := DefaultParams()
+	ph.Method = MethodHist
+	hist, err := Train(train, nil, ph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eRMSE := RMSE(exact.PredictBatch(test.X), test.Y)
+	hRMSE := RMSE(hist.PredictBatch(test.X), test.Y)
+	if hRMSE > 2*eRMSE+0.2 {
+		t.Errorf("hist RMSE %.4f far above exact %.4f", hRMSE, eRMSE)
+	}
+}
+
+func TestHistDeterministic(t *testing.T) {
+	ds := synthDataset(200, 4, 0.1, 3)
+	p := DefaultParams()
+	p.Method = MethodHist
+	p.SubsampleRows = 0.8
+	p.Seed = 7
+	m1, err := Train(ds, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(ds, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.X {
+		if m1.Predict(ds.X[i]) != m2.Predict(ds.X[i]) {
+			t.Fatal("hist training not deterministic")
+		}
+	}
+}
+
+func TestHistSaveLoad(t *testing.T) {
+	ds := synthDataset(150, 3, 0.1, 4)
+	p := DefaultParams()
+	p.Method = MethodHist
+	m, err := Train(ds, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.X {
+		if m.Predict(ds.X[i]) != m2.Predict(ds.X[i]) {
+			t.Fatal("loaded hist model predicts differently")
+		}
+	}
+}
+
+func TestHistFewDistinctValues(t *testing.T) {
+	// A binary feature has a single cut point; the split must still land
+	// exactly on it.
+	ds := &Dataset{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		v := float64(rng.Intn(2))
+		ds.X = append(ds.X, []float64{v})
+		ds.Y = append(ds.Y, v*10)
+	}
+	p := DefaultParams()
+	p.Method = MethodHist
+	m, err := Train(ds, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0}); math.Abs(got-0) > 0.2 {
+		t.Errorf("Predict(0) = %g", got)
+	}
+	if got := m.Predict([]float64{1}); math.Abs(got-10) > 0.2 {
+		t.Errorf("Predict(1) = %g", got)
+	}
+}
+
+func TestHistConstantFeature(t *testing.T) {
+	// A constant feature has no cut points: training must not split on it
+	// and must still converge on the informative one.
+	ds := &Dataset{}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 150; i++ {
+		x := rng.Float64()
+		ds.X = append(ds.X, []float64{5.0, x})
+		ds.Y = append(ds.Y, x*3)
+	}
+	p := DefaultParams()
+	p.Method = MethodHist
+	m, err := Train(ds, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Importance[0] != 0 {
+		t.Errorf("constant feature got importance %g", m.Importance[0])
+	}
+	rmse := RMSE(m.PredictBatch(ds.X), ds.Y)
+	if rmse > 0.3 {
+		t.Errorf("hist RMSE %.4f with constant feature", rmse)
+	}
+}
+
+func TestBinnerBoundaryConsistency(t *testing.T) {
+	// A value equal to a cut point must route the same way during training
+	// (bin partition) and prediction (v < split).
+	x := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	b := newBinner(x, 4)
+	cuts := b.cuts[0]
+	if len(cuts) == 0 {
+		t.Fatal("no cuts")
+	}
+	for _, c := range cuts {
+		binAt := b.binOf(0, c)
+		binBelow := b.binOf(0, c-1e-9)
+		if binAt == binBelow {
+			t.Errorf("cut %g: value at cut shares bin %d with value below", c, binAt)
+		}
+	}
+}
+
+func TestQuickHistFiniteBounded(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(7))}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 30
+		d := rng.Intn(4) + 1
+		ds := &Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			row := make([]float64, d)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			ds.X[i] = row
+			ds.Y[i] = rng.NormFloat64() * 5
+			if ds.Y[i] < lo {
+				lo = ds.Y[i]
+			}
+			if ds.Y[i] > hi {
+				hi = ds.Y[i]
+			}
+		}
+		m, err := Train(ds, nil, Params{NumRounds: 15, MaxDepth: 3, Method: MethodHist})
+		if err != nil {
+			return false
+		}
+		for i := range ds.X {
+			v := m.Predict(ds.X[i])
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < lo-1 || v > hi+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package gbt
+
+import "sort"
+
+// Node is one node of a regression tree. Leaves have Feature == -1 and
+// carry Weight; internal nodes route instances with value < Split to Left.
+type Node struct {
+	Feature int     `json:"feature"` // -1 for leaves
+	Split   float64 `json:"split"`
+	Weight  float64 `json:"weight"` // leaf output
+	Gain    float64 `json:"gain"`   // split gain, for feature importance
+	Left    *Node   `json:"left,omitempty"`
+	Right   *Node   `json:"right,omitempty"`
+}
+
+// Tree is one member of the boosted ensemble.
+type Tree struct {
+	Root *Node `json:"root"`
+}
+
+// Predict routes one instance down the tree.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.Root
+	for n.Feature >= 0 {
+		if x[n.Feature] < n.Split {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Weight
+}
+
+// treeBuilder carries the state shared across the recursive construction of
+// one tree: the training matrix, per-instance gradients and Hessians, and
+// the hyperparameters.
+type treeBuilder struct {
+	x          [][]float64
+	grad, hess []float64
+	cols       []int // candidate feature subset for this tree
+	p          Params
+	importance []float64 // accumulated split gain per feature
+}
+
+// leafWeight is the Newton-step optimal leaf value -G/(H+lambda).
+func (b *treeBuilder) leafWeight(g, h float64) float64 {
+	return -g / (h + b.p.Lambda)
+}
+
+// scoreTerm is the structure-score contribution G^2/(H+lambda) of one side.
+func (b *treeBuilder) scoreTerm(g, h float64) float64 {
+	return g * g / (h + b.p.Lambda)
+}
+
+// splitCandidate holds the best split found for a node.
+type splitCandidate struct {
+	feature     int
+	split       float64
+	gain        float64
+	left, right []int
+}
+
+// build constructs the subtree over the given instance indices.
+func (b *treeBuilder) build(idx []int, depth int) *Node {
+	var gSum, hSum float64
+	for _, i := range idx {
+		gSum += b.grad[i]
+		hSum += b.hess[i]
+	}
+	leaf := func() *Node {
+		return &Node{Feature: -1, Weight: b.p.LearningRate * b.leafWeight(gSum, hSum)}
+	}
+	if depth >= b.p.MaxDepth || len(idx) < 2*b.p.MinSamplesLeaf || hSum < 2*b.p.MinChildWeight {
+		return leaf()
+	}
+	best := b.bestSplit(idx, gSum, hSum)
+	if best == nil {
+		return leaf()
+	}
+	b.importance[best.feature] += best.gain
+	return &Node{
+		Feature: best.feature,
+		Split:   best.split,
+		Gain:    best.gain,
+		Left:    b.build(best.left, depth+1),
+		Right:   b.build(best.right, depth+1),
+	}
+}
+
+// bestSplit scans every candidate feature with the exact greedy algorithm:
+// sort the node's instances by feature value and evaluate the XGBoost gain
+//
+//	1/2 [ GL^2/(HL+λ) + GR^2/(HR+λ) − G^2/(H+λ) ] − γ
+//
+// at every boundary between distinct values. Returns nil when no split
+// clears the Gamma threshold and the child constraints.
+func (b *treeBuilder) bestSplit(idx []int, gSum, hSum float64) *splitCandidate {
+	type item struct {
+		v    float64
+		i    int
+		g, h float64
+	}
+	items := make([]item, len(idx))
+	var best *splitCandidate
+	parentScore := b.scoreTerm(gSum, hSum)
+	for _, f := range b.cols {
+		for k, i := range idx {
+			items[k] = item{v: b.x[i][f], i: i, g: b.grad[i], h: b.hess[i]}
+		}
+		sort.Slice(items, func(a, c int) bool { return items[a].v < items[c].v })
+		var gl, hl float64
+		nl := 0
+		for k := 0; k < len(items)-1; k++ {
+			gl += items[k].g
+			hl += items[k].h
+			nl++
+			if items[k].v == items[k+1].v {
+				continue // cannot split between identical values
+			}
+			nr := len(items) - nl
+			if nl < b.p.MinSamplesLeaf || nr < b.p.MinSamplesLeaf {
+				continue
+			}
+			gr := gSum - gl
+			hr := hSum - hl
+			if hl < b.p.MinChildWeight || hr < b.p.MinChildWeight {
+				continue
+			}
+			gain := 0.5*(b.scoreTerm(gl, hl)+b.scoreTerm(gr, hr)-parentScore) - b.p.Gamma
+			if gain <= 0 {
+				continue
+			}
+			if best == nil || gain > best.gain {
+				split := (items[k].v + items[k+1].v) / 2
+				if best == nil {
+					best = &splitCandidate{}
+				}
+				best.feature = f
+				best.split = split
+				best.gain = gain
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Partition the indices by the winning split.
+	for _, i := range idx {
+		if b.x[i][best.feature] < best.split {
+			best.left = append(best.left, i)
+		} else {
+			best.right = append(best.right, i)
+		}
+	}
+	if len(best.left) == 0 || len(best.right) == 0 {
+		return nil
+	}
+	return best
+}

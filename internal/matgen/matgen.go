@@ -1,0 +1,506 @@
+// Package matgen generates the synthetic matrix corpus that stands in for
+// the SuiteSparse collection used in the paper. The families span the
+// structural axes the paper's feature set measures — diagonal structure,
+// row-length regularity, blockiness, density and skew — so that different
+// matrices genuinely favor different storage formats, which is the property
+// the format-selection experiments need.
+//
+// Every generator is deterministic for a given seed.
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// Family identifies a structural family of synthetic matrices.
+type Family int
+
+// The structural families in the corpus.
+const (
+	// Banded matrices with a handful of fully occupied diagonals: the
+	// DIA-friendly family.
+	FamBanded Family = iota
+	// 2D five-point Laplacian stencils on a k x k grid: banded, SPD.
+	FamStencil2D
+	// 3D seven-point Laplacian stencils on a k x k x k grid.
+	FamStencil3D
+	// Uniform random scatter with a fixed expected row degree.
+	FamRandom
+	// Rows of identical length with random columns: the ELL-friendly family.
+	FamUniformRows
+	// Power-law row degrees (a few very long rows): the HYB-friendly family.
+	FamPowerLaw
+	// Dense blocks scattered on a block grid: the BSR-friendly family.
+	FamBlock
+	// Diagonally dominant SPD matrices for the solver applications.
+	FamSPD
+	numFamilies
+)
+
+// NumFamilies is the number of corpus families.
+const NumFamilies = int(numFamilies)
+
+var familyNames = [...]string{
+	FamBanded:      "banded",
+	FamStencil2D:   "stencil2d",
+	FamStencil3D:   "stencil3d",
+	FamRandom:      "random",
+	FamUniformRows: "uniform",
+	FamPowerLaw:    "powerlaw",
+	FamBlock:       "block",
+	FamSPD:         "spd",
+}
+
+// String returns the family's lower-case name.
+func (f Family) String() string {
+	if f < 0 || int(f) >= len(familyNames) {
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+	return familyNames[f]
+}
+
+// AllFamilies lists every family. The slice is shared; do not mutate.
+var AllFamilies = []Family{
+	FamBanded, FamStencil2D, FamStencil3D, FamRandom,
+	FamUniformRows, FamPowerLaw, FamBlock, FamSPD,
+}
+
+// Spec describes one synthetic matrix. Size is a rough scale parameter whose
+// meaning is family-specific (target rows for most families, grid edge for
+// stencils). Degree is the target average row degree where applicable.
+type Spec struct {
+	Name   string
+	Family Family
+	Size   int
+	Degree int
+	Seed   int64
+}
+
+// Generate builds the matrix described by the spec in CSR form.
+func Generate(s Spec) (*sparse.CSR, error) {
+	if s.Size <= 0 {
+		return nil, fmt.Errorf("matgen: spec %q has non-positive size %d", s.Name, s.Size)
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	deg := s.Degree
+	if deg <= 0 {
+		deg = 8
+	}
+	switch s.Family {
+	case FamBanded:
+		return Banded(s.Size, deg, rng)
+	case FamStencil2D:
+		return Stencil2D(gridEdge2D(s.Size))
+	case FamStencil3D:
+		return Stencil3D(gridEdge3D(s.Size))
+	case FamRandom:
+		return Random(s.Size, s.Size, deg, rng)
+	case FamUniformRows:
+		return UniformRows(s.Size, s.Size, deg, rng)
+	case FamPowerLaw:
+		return PowerLaw(s.Size, s.Size, deg, 2.1, rng)
+	case FamBlock:
+		return Block(s.Size, 4, deg, rng)
+	case FamSPD:
+		base, err := Random(s.Size, s.Size, deg, rng)
+		if err != nil {
+			return nil, err
+		}
+		// Strong dominance: these systems converge fast, populating the
+		// short-loop end of the experiments where conversion must not pay.
+		return makeSPDMargin(base, 1.0, 1.0)
+	default:
+		return nil, fmt.Errorf("matgen: unknown family %v", s.Family)
+	}
+}
+
+// gridEdge2D converts a target row count into a grid edge >= 2.
+func gridEdge2D(rows int) int {
+	k := 2
+	for (k+1)*(k+1) <= rows {
+		k++
+	}
+	return k
+}
+
+// gridEdge3D converts a target row count into a grid edge >= 2.
+func gridEdge3D(rows int) int {
+	k := 2
+	for (k+1)*(k+1)*(k+1) <= rows {
+		k++
+	}
+	return k
+}
+
+// fromTriplets assembles a CSR matrix from triplets via COO normalization,
+// so generators may emit duplicates or unsorted entries freely.
+func fromTriplets(rows, cols int, ri, ci []int32, v []float64) (*sparse.CSR, error) {
+	coo, err := sparse.NewCOO(rows, cols, ri, ci, v)
+	if err != nil {
+		return nil, err
+	}
+	return sparse.COOToCSR(coo)
+}
+
+// Banded generates an n x n matrix with nd fully occupied diagonals at
+// random offsets inside a band of half-width 3*nd (the main diagonal is
+// always included). Values are uniform in [0.5, 1.5).
+func Banded(n, nd int, rng *rand.Rand) (*sparse.CSR, error) {
+	if nd < 1 {
+		nd = 1
+	}
+	half := 3 * nd
+	if half >= n {
+		half = n - 1
+	}
+	offsets := map[int]bool{0: true}
+	for len(offsets) < nd && len(offsets) < 2*half+1 {
+		offsets[rng.Intn(2*half+1)-half] = true
+	}
+	offs := make([]int, 0, len(offsets))
+	for k := range offsets {
+		offs = append(offs, k)
+	}
+	sort.Ints(offs)
+	var ri, ci []int32
+	var v []float64
+	for _, k := range offs {
+		lo, hi := 0, n
+		if k < 0 {
+			lo = -k
+		}
+		if n-k < hi {
+			hi = n - k
+		}
+		for i := lo; i < hi; i++ {
+			ri = append(ri, int32(i))
+			ci = append(ci, int32(i+k))
+			v = append(v, 0.5+rng.Float64())
+		}
+	}
+	return fromTriplets(n, n, ri, ci, v)
+}
+
+// Stencil2D generates the five-point Laplacian on a k x k grid: an SPD
+// matrix of k^2 rows with at most 5 diagonals.
+func Stencil2D(k int) (*sparse.CSR, error) {
+	n := k * k
+	var ri, ci []int32
+	var v []float64
+	add := func(i, j int, val float64) {
+		ri = append(ri, int32(i))
+		ci = append(ci, int32(j))
+		v = append(v, val)
+	}
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			i := y*k + x
+			add(i, i, 4)
+			if x > 0 {
+				add(i, i-1, -1)
+			}
+			if x < k-1 {
+				add(i, i+1, -1)
+			}
+			if y > 0 {
+				add(i, i-k, -1)
+			}
+			if y < k-1 {
+				add(i, i+k, -1)
+			}
+		}
+	}
+	return fromTriplets(n, n, ri, ci, v)
+}
+
+// Stencil3D generates the seven-point Laplacian on a k^3 grid.
+func Stencil3D(k int) (*sparse.CSR, error) {
+	n := k * k * k
+	var ri, ci []int32
+	var v []float64
+	add := func(i, j int, val float64) {
+		ri = append(ri, int32(i))
+		ci = append(ci, int32(j))
+		v = append(v, val)
+	}
+	for z := 0; z < k; z++ {
+		for y := 0; y < k; y++ {
+			for x := 0; x < k; x++ {
+				i := (z*k+y)*k + x
+				add(i, i, 6)
+				if x > 0 {
+					add(i, i-1, -1)
+				}
+				if x < k-1 {
+					add(i, i+1, -1)
+				}
+				if y > 0 {
+					add(i, i-k, -1)
+				}
+				if y < k-1 {
+					add(i, i+k, -1)
+				}
+				if z > 0 {
+					add(i, i-k*k, -1)
+				}
+				if z < k-1 {
+					add(i, i+k*k, -1)
+				}
+			}
+		}
+	}
+	return fromTriplets(n, n, ri, ci, v)
+}
+
+// Random generates an m x n matrix where each row holds Poisson-ish
+// (1 + Binomial-approximated) random entries averaging deg per row, at
+// uniform random columns.
+func Random(m, n, deg int, rng *rand.Rand) (*sparse.CSR, error) {
+	var ri, ci []int32
+	var v []float64
+	for i := 0; i < m; i++ {
+		k := 1 + rng.Intn(2*deg-1) // uniform on [1, 2*deg-1], mean deg
+		if k > n {
+			k = n
+		}
+		for _, c := range sampleColumns(n, k, rng) {
+			ri = append(ri, int32(i))
+			ci = append(ci, int32(c))
+			v = append(v, rng.NormFloat64())
+		}
+	}
+	return fromTriplets(m, n, ri, ci, v)
+}
+
+// UniformRows generates an m x n matrix with exactly deg entries in every
+// row at random columns: zero row-length variance, the ELL sweet spot.
+func UniformRows(m, n, deg int, rng *rand.Rand) (*sparse.CSR, error) {
+	if deg > n {
+		deg = n
+	}
+	var ri, ci []int32
+	var v []float64
+	for i := 0; i < m; i++ {
+		for _, c := range sampleColumns(n, deg, rng) {
+			ri = append(ri, int32(i))
+			ci = append(ci, int32(c))
+			v = append(v, rng.NormFloat64())
+		}
+	}
+	return fromTriplets(m, n, ri, ci, v)
+}
+
+// PowerLaw generates an m x n matrix whose row degrees follow a truncated
+// power law with the given exponent: most rows short, a few very long,
+// which is the regime where HYB beats ELL.
+func PowerLaw(m, n, deg int, exponent float64, rng *rand.Rand) (*sparse.CSR, error) {
+	maxDeg := n / 2
+	if maxDeg < deg {
+		maxDeg = deg
+	}
+	var ri, ci []int32
+	var v []float64
+	for i := 0; i < m; i++ {
+		k := powerLawDegree(deg, maxDeg, exponent, rng)
+		if k > n {
+			k = n
+		}
+		for _, c := range sampleColumns(n, k, rng) {
+			ri = append(ri, int32(i))
+			ci = append(ci, int32(c))
+			v = append(v, rng.NormFloat64())
+		}
+	}
+	return fromTriplets(m, n, ri, ci, v)
+}
+
+// powerLawDegree samples a degree in [1, maxDeg] with P(k) proportional to
+// k^-exponent, scaled so the mean is near deg.
+func powerLawDegree(deg, maxDeg int, exponent float64, rng *rand.Rand) int {
+	// Inverse-CDF sampling of a Pareto-like distribution with minimum 1,
+	// then scale to hit the target mean approximately.
+	u := rng.Float64()
+	x := 1.0
+	if exponent > 1 {
+		x = 1.0 / math.Pow(1-u, 1.0/(exponent-1))
+	}
+	k := int(x * float64(deg) * (exponent - 2) / (exponent - 1))
+	if k < 1 {
+		k = 1
+	}
+	if k > maxDeg {
+		k = maxDeg
+	}
+	return k
+}
+
+// Block generates an n x n matrix from dense bs x bs blocks scattered on
+// the block grid so each block row holds about deg/bs blocks.
+func Block(n, bs, deg int, rng *rand.Rand) (*sparse.CSR, error) {
+	if bs < 1 {
+		bs = 1
+	}
+	bn := (n + bs - 1) / bs
+	blocksPerRow := deg / bs
+	if blocksPerRow < 1 {
+		blocksPerRow = 1
+	}
+	var ri, ci []int32
+	var v []float64
+	for bi := 0; bi < bn; bi++ {
+		k := blocksPerRow
+		if k > bn {
+			k = bn
+		}
+		for _, bj := range sampleColumns(bn, k, rng) {
+			for ii := 0; ii < bs; ii++ {
+				for jj := 0; jj < bs; jj++ {
+					r := bi*bs + ii
+					c := bj*bs + jj
+					if r >= n || c >= n {
+						continue
+					}
+					ri = append(ri, int32(r))
+					ci = append(ci, int32(c))
+					v = append(v, rng.NormFloat64())
+				}
+			}
+		}
+	}
+	return fromTriplets(n, n, ri, ci, v)
+}
+
+// MakeSPD symmetrizes a square matrix and adds a diagonal shift just large
+// enough to make it strictly diagonally dominant (hence SPD). The default
+// margin is deliberately weak so the resulting systems are SPD but not
+// trivially conditioned — iterative solvers then run long enough for format
+// conversion to be worth considering, the regime the paper's experiments
+// live in.
+func MakeSPD(a *sparse.CSR) (*sparse.CSR, error) {
+	return makeSPDMargin(a, spdMargin, spdFloor)
+}
+
+// makeSPDMargin is MakeSPD with explicit dominance margin and floor: the
+// diagonal is raised to at least (1+margin)*offDiagAbsSum + floor.
+func makeSPDMargin(a *sparse.CSR, margin, floor float64) (*sparse.CSR, error) {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("matgen: MakeSPD needs a square matrix, got %dx%d", rows, cols)
+	}
+	at := a.Transpose()
+	var ri, ci []int32
+	var v []float64
+	emit := func(m *sparse.CSR) {
+		for i := 0; i < rows; i++ {
+			for k := m.Ptr[i]; k < m.Ptr[i+1]; k++ {
+				ri = append(ri, int32(i))
+				ci = append(ci, m.Col[k])
+				v = append(v, 0.5*m.Data[k])
+			}
+		}
+	}
+	emit(a)
+	emit(at)
+	sym, err := fromTriplets(rows, cols, ri, ci, v)
+	if err != nil {
+		return nil, err
+	}
+	// Diagonal shift: raise row i's diagonal to at least
+	// (1 + margin) * sum_{j != i} |S_ij| + floor, accounting for whatever
+	// diagonal value the symmetrization already produced (possibly
+	// negative).
+	for i := 0; i < rows; i++ {
+		var rowAbs, diag float64
+		for k := sym.Ptr[i]; k < sym.Ptr[i+1]; k++ {
+			if int(sym.Col[k]) != i {
+				rowAbs += abs(sym.Data[k])
+			} else {
+				diag = sym.Data[k]
+			}
+		}
+		if add := rowAbs*(1+margin) + floor - diag; add > 0 {
+			ri = append(ri, int32(i))
+			ci = append(ci, int32(i))
+			v = append(v, add)
+		}
+	}
+	return fromTriplets(rows, cols, ri, ci, v)
+}
+
+// MakeDominant raises a square matrix's diagonal until it strictly
+// dominates each row, WITHOUT symmetrizing — the resulting system is
+// solvable by BiCGSTAB/GMRES/Jacobi but generally not by CG (not
+// symmetric). The margin semantics match makeSPDMargin.
+func MakeDominant(a *sparse.CSR, margin float64) (*sparse.CSR, error) {
+	rows, cols := a.Dims()
+	if rows != cols {
+		return nil, fmt.Errorf("matgen: MakeDominant needs a square matrix, got %dx%d", rows, cols)
+	}
+	var ri, ci []int32
+	var v []float64
+	for i := 0; i < rows; i++ {
+		var rowAbs, diag float64
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			ri = append(ri, int32(i))
+			ci = append(ci, a.Col[k])
+			v = append(v, a.Data[k])
+			if int(a.Col[k]) == i {
+				diag = a.Data[k]
+			} else {
+				rowAbs += abs(a.Data[k])
+			}
+		}
+		if add := rowAbs*(1+margin) + spdFloor - diag; add > 0 {
+			ri = append(ri, int32(i))
+			ci = append(ci, int32(i))
+			v = append(v, add)
+		}
+	}
+	return fromTriplets(rows, cols, ri, ci, v)
+}
+
+// spdMargin and spdFloor control how strongly MakeSPD dominates the
+// diagonal; see the comment inside MakeSPD.
+const (
+	spdMargin = 0.02
+	spdFloor  = 0.01
+)
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sampleColumns draws k distinct column indices from [0, n) uniformly.
+// For small k it rejection-samples; for large k it does a partial
+// Fisher-Yates. The result is unsorted (COO normalization sorts later).
+func sampleColumns(n, k int, rng *rand.Rand) []int {
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if k*8 < n {
+		seen := make(map[int]bool, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			c := rng.Intn(n)
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	perm := rng.Perm(n)
+	return perm[:k]
+}

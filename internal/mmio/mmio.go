@@ -1,0 +1,171 @@
+// Package mmio reads and writes Matrix Market exchange files (the .mtx
+// format the SuiteSparse collection distributes), so the library can ingest
+// real matrices in place of the synthetic corpus when they are available.
+//
+// Supported: "matrix coordinate" with field real/integer/pattern and
+// symmetry general/symmetric/skew-symmetric. Complex fields and dense
+// "array" layouts are rejected with a clear error.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sparse"
+)
+
+// header is the parsed %%MatrixMarket banner.
+type header struct {
+	object   string
+	layout   string
+	field    string
+	symmetry string
+}
+
+func parseHeader(line string) (header, error) {
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) != 5 || fields[0] != "%%matrixmarket" {
+		return header{}, fmt.Errorf("mmio: malformed banner %q", line)
+	}
+	return header{object: fields[1], layout: fields[2], field: fields[3], symmetry: fields[4]}, nil
+}
+
+// Read parses a Matrix Market stream into a CSR matrix.
+func Read(r io.Reader) (*sparse.CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("mmio: reading banner: %w", err)
+		}
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	h, err := parseHeader(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+	if h.object != "matrix" {
+		return nil, fmt.Errorf("mmio: unsupported object %q", h.object)
+	}
+	if h.layout != "coordinate" {
+		return nil, fmt.Errorf("mmio: unsupported layout %q (only coordinate)", h.layout)
+	}
+	switch h.field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported field %q", h.field)
+	}
+	switch h.symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported symmetry %q", h.symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("mmio: reading size line: %w", err)
+			}
+			return nil, fmt.Errorf("mmio: missing size line")
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("mmio: malformed size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: negative sizes %d %d %d", rows, cols, nnz)
+	}
+
+	ri := make([]int32, 0, nnz)
+	ci := make([]int32, 0, nnz)
+	vv := make([]float64, 0, nnz)
+	read := 0
+	for read < nnz {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return nil, fmt.Errorf("mmio: reading entries: %w", err)
+			}
+			return nil, fmt.Errorf("mmio: expected %d entries, got %d", nnz, read)
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		wantFields := 3
+		if h.field == "pattern" {
+			wantFields = 2
+		}
+		if len(fields) < wantFields {
+			return nil, fmt.Errorf("mmio: malformed entry %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad row index %q: %w", fields[0], err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: bad column index %q: %w", fields[1], err)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("mmio: entry (%d,%d) outside %dx%d", i, j, rows, cols)
+		}
+		v := 1.0
+		if h.field != "pattern" {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: bad value %q: %w", fields[2], err)
+			}
+		}
+		ri = append(ri, int32(i-1))
+		ci = append(ci, int32(j-1))
+		vv = append(vv, v)
+		if h.symmetry != "general" && i != j {
+			ri = append(ri, int32(j-1))
+			ci = append(ci, int32(i-1))
+			if h.symmetry == "skew-symmetric" {
+				vv = append(vv, -v)
+			} else {
+				vv = append(vv, v)
+			}
+		}
+		read++
+	}
+	coo, err := sparse.NewCOO(rows, cols, ri, ci, vv)
+	if err != nil {
+		return nil, fmt.Errorf("mmio: assembling matrix: %w", err)
+	}
+	return sparse.COOToCSR(coo)
+}
+
+// Write emits a matrix in "coordinate real general" form with 1-based
+// indices, the most portable Matrix Market variant.
+func Write(w io.Writer, m sparse.Matrix) error {
+	csr, err := sparse.ToCSR(m)
+	if err != nil {
+		return fmt.Errorf("mmio: %w", err)
+	}
+	rows, cols := csr.Dims()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", rows, cols, csr.NNZ()); err != nil {
+		return fmt.Errorf("mmio: writing header: %w", err)
+	}
+	for i := 0; i < rows; i++ {
+		for k := csr.Ptr[i]; k < csr.Ptr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, csr.Col[k]+1, csr.Data[k]); err != nil {
+				return fmt.Errorf("mmio: writing entry: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}

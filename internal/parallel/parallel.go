@@ -1,0 +1,117 @@
+// Package parallel provides small helpers for data-parallel loops used by
+// the SpMV kernels: a chunked parallel-for and an nnz-balanced row
+// partitioner. All helpers are synchronous: they return only after every
+// worker has finished, so callers never need additional synchronization for
+// the data the workers wrote.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MinParallelWork is the smallest amount of work (loop iterations) for which
+// For will bother spawning goroutines. Below this the loop runs inline: the
+// goroutine fan-out costs more than it saves on tiny matrices, which matters
+// here because format-selection experiments time kernels on matrices of all
+// sizes.
+const MinParallelWork = 1 << 12
+
+// Workers reports the number of workers parallel loops will use.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(lo, hi) over disjoint subranges covering [0, n) using up to
+// Workers() goroutines. Each body call receives a contiguous half-open range.
+// If n is small the loop runs inline on the calling goroutine.
+func For(n int, body func(lo, hi int)) {
+	ForThreshold(n, MinParallelWork, body)
+}
+
+// ForThreshold is For with an explicit serial-fallback threshold.
+func ForThreshold(n, threshold int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if p <= 1 || n < threshold {
+		body(0, n)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	chunk := (n + p - 1) / p
+	for w := 0; w < p; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				body(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForRanges runs body over the given precomputed ranges (pairs of [lo,hi)),
+// one goroutine per range. Used with PartitionByWeight for load-balanced row
+// partitioning where rows have wildly different costs.
+func ForRanges(ranges [][2]int, body func(lo, hi int)) {
+	switch len(ranges) {
+	case 0:
+		return
+	case 1:
+		body(ranges[0][0], ranges[0][1])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for _, r := range ranges {
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(r[0], r[1])
+	}
+	wg.Wait()
+}
+
+// PartitionByWeight splits [0, n) into at most parts contiguous ranges whose
+// cumulative weights are approximately equal. cumWeight must be a
+// non-decreasing prefix-sum array of length n+1 with cumWeight[0] == 0; for
+// CSR matrices the row-pointer array is exactly this. Empty ranges are
+// omitted, so the result may have fewer than parts entries.
+func PartitionByWeight(n, parts int, cumWeight []int) [][2]int {
+	if n <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	total := cumWeight[n]
+	ranges := make([][2]int, 0, parts)
+	lo := 0
+	for w := 0; w < parts && lo < n; w++ {
+		target := cumWeight[lo] + (total-cumWeight[lo])/(parts-w)
+		hi := lo + 1
+		// Advance hi until the chunk holds its share of the remaining weight.
+		for hi < n && cumWeight[hi] < target {
+			hi++
+		}
+		// Last chunk takes everything left.
+		if w == parts-1 {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+		lo = hi
+	}
+	if lo < n {
+		ranges[len(ranges)-1][1] = n
+	}
+	return ranges
+}

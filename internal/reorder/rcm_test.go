@@ -1,0 +1,203 @@
+package reorder
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+func TestRCMReducesBandwidthOnShuffledStencil(t *testing.T) {
+	// A stencil has a tight band; shuffling destroys it; RCM must recover
+	// most of it.
+	orig, err := matgen.Stencil2D(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := orig.Dims()
+	rng := rand.New(rand.NewSource(1))
+	shufflePerm := make([]int32, n)
+	for i, p := range rng.Perm(n) {
+		shufflePerm[i] = int32(p)
+	}
+	shuffled, err := Apply(orig, shufflePerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwShuffled := Bandwidth(shuffled)
+	perm, err := RCM(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Apply(shuffled, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwRCM := Bandwidth(recovered)
+	if bwRCM >= bwShuffled/4 {
+		t.Errorf("RCM bandwidth %d vs shuffled %d: insufficient reduction", bwRCM, bwShuffled)
+	}
+}
+
+func TestApplyPreservesSpectrumAction(t *testing.T) {
+	// B = P A P^T must satisfy B (P x) = P (A x).
+	rng := rand.New(rand.NewSource(2))
+	a, err := matgen.Random(80, 80, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Apply(a, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := a.Dims()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// px[new] = x[perm[new]]
+	px := make([]float64, n)
+	for newIdx, old := range perm {
+		px[newIdx] = x[old]
+	}
+	ax := make([]float64, n)
+	a.SpMV(ax, x)
+	pax := make([]float64, n)
+	for newIdx, old := range perm {
+		pax[newIdx] = ax[old]
+	}
+	bpx := make([]float64, n)
+	b.SpMV(bpx, px)
+	for i := range bpx {
+		if d := bpx[i] - pax[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("B(Px) != P(Ax) at %d: %g vs %g", i, bpx[i], pax[i])
+		}
+	}
+	_ = vec.Nrm2 // keep the import for future assertions
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, fam := range []matgen.Family{matgen.FamRandom, matgen.FamPowerLaw, matgen.FamBlock} {
+		m, err := matgen.Generate(matgen.Spec{Name: fam.String(), Family: fam, Size: 300, Degree: 6, Seed: rng.Int63()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, err := RCM(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := m.Dims()
+		if len(perm) != n {
+			t.Fatalf("%v: perm length %d, want %d", fam, len(perm), n)
+		}
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || int(p) >= n || seen[p] {
+				t.Fatalf("%v: not a permutation", fam)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestRCMHandlesDisconnectedAndEmpty(t *testing.T) {
+	// Block-diagonal with two components plus isolated vertices.
+	dense := []float64{
+		1, 1, 0, 0, 0,
+		1, 1, 0, 0, 0,
+		0, 0, 0, 0, 0, // isolated
+		0, 0, 0, 1, 1,
+		0, 0, 0, 1, 1,
+	}
+	a, err := sparse.FromDense(5, 5, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := RCM(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != 5 {
+		t.Fatalf("perm covers %d of 5", len(perm))
+	}
+	empty, err := sparse.NewCSR(3, 3, make([]int, 4), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RCM(empty); err != nil {
+		t.Fatalf("empty matrix: %v", err)
+	}
+}
+
+func TestRCMRejectsNonSquare(t *testing.T) {
+	a, err := sparse.FromDense(2, 3, make([]float64, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RCM(a); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := Apply(a, []int32{0, 1}); err == nil {
+		t.Error("Apply accepted non-square")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	a, err := matgen.Stencil2D(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := a.Dims()
+	bad := make([]int32, n)
+	if _, err := Apply(a, bad[:n-1]); err == nil {
+		t.Error("short permutation accepted")
+	}
+	for i := range bad {
+		bad[i] = 0 // duplicate
+	}
+	if _, err := Apply(a, bad); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+}
+
+func TestQuickApplyRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(4))}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 10
+		a, err := matgen.Random(n, n, 4, rng)
+		if err != nil {
+			return false
+		}
+		perm, err := RCM(a)
+		if err != nil {
+			return false
+		}
+		b, err := Apply(a, perm)
+		if err != nil {
+			return false
+		}
+		// Applying the inverse permutation must restore A.
+		inv := make([]int32, n)
+		for newIdx, old := range perm {
+			inv[old] = int32(newIdx)
+		}
+		back, err := Apply(b, inv)
+		if err != nil {
+			return false
+		}
+		eq, err := sparse.EqualValues(a, back, 0)
+		return err == nil && eq
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

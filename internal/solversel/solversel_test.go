@@ -1,0 +1,184 @@
+package solversel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gbt"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// mixedCorpus generates a half-SPD, half-nonsymmetric corpus so CG validity
+// actually varies.
+func mixedCorpus(t testing.TB, count int, seed int64) []*sparse.CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*sparse.CSR, 0, count)
+	for i := 0; i < count; i++ {
+		size := 200 + rng.Intn(600)
+		base, err := matgen.Random(size, size, 5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m *sparse.CSR
+		if i%2 == 0 {
+			m, err = matgen.MakeSPD(base)
+		} else {
+			m, err = matgen.MakeDominant(base, 0.05)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func collectAll(t testing.TB, mats []*sparse.CSR, seed int64) []Sample {
+	t.Helper()
+	var samples []Sample
+	opt := DefaultRunOptions()
+	opt.Seed = seed
+	for i, m := range mats {
+		s, err := CollectOne(string(rune('a'+i%26))+"-mat", m, opt)
+		if err != nil {
+			continue
+		}
+		samples = append(samples, s)
+	}
+	if len(samples) < len(mats)/2 {
+		t.Fatalf("only %d of %d systems produced samples", len(samples), len(mats))
+	}
+	return samples
+}
+
+func TestCollectOneValidityPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base, err := matgen.Random(300, 300, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spd, err := matgen.MakeSPD(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CollectOne("spd", spd, DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Cost[SolverCG]; !ok {
+		t.Error("CG missing on an SPD system")
+	}
+	if _, ok := s.Cost[SolverBiCGSTAB]; !ok {
+		t.Error("BiCGSTAB missing on an SPD system")
+	}
+
+	nonsym, err := matgen.MakeDominant(base, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := CollectOne("nonsym", nonsym, DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Cost[SolverBiCGSTAB]; !ok {
+		t.Error("BiCGSTAB missing on a dominant nonsymmetric system")
+	}
+	// CG on a nonsymmetric system either breaks down or is absent; it must
+	// not be reported as the only solver.
+	if len(s2.Cost) == 1 {
+		if _, only := s2.Cost[SolverCG]; only {
+			t.Error("CG reported as sole solver for a nonsymmetric system")
+		}
+	}
+}
+
+func TestCollectOneRejectsNonSquare(t *testing.T) {
+	a, err := sparse.FromDense(2, 3, make([]float64, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CollectOne("rect", a, DefaultRunOptions()); err == nil {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestTrainDecideEvaluate(t *testing.T) {
+	mats := mixedCorpus(t, 36, 2)
+	samples := collectAll(t, mats, 3)
+	p := gbt.DefaultParams()
+	p.NumRounds = 40
+	split := len(samples) * 3 / 4
+	preds, err := Train(samples[:split], p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := preds.Evaluate(samples[split:])
+	if ev.Runs == 0 {
+		t.Fatal("no evaluated runs")
+	}
+	if ev.CostRatio < 1-1e-9 {
+		t.Errorf("cost ratio %.3f below 1 (impossible)", ev.CostRatio)
+	}
+	// The selector must beat or match the fixed-BiCGSTAB baseline.
+	if ev.CostRatio > ev.BaselineRatio+0.05 {
+		t.Errorf("selector ratio %.3f worse than fixed baseline %.3f", ev.CostRatio, ev.BaselineRatio)
+	}
+	if ev.Agreement <= 0.3 {
+		t.Errorf("oracle agreement %.2f suspiciously low", ev.Agreement)
+	}
+}
+
+func TestDecideRespectsValidity(t *testing.T) {
+	mats := mixedCorpus(t, 20, 4)
+	samples := collectAll(t, mats, 5)
+	p := gbt.DefaultParams()
+	p.NumRounds = 20
+	preds, err := Train(samples, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := samples[0].Features
+	sv, cost := preds.Decide(feat, func(s Solver) bool { return s == SolverGMRES })
+	if sv != SolverGMRES {
+		t.Errorf("validity-restricted decide chose %v", sv)
+	}
+	if math.IsInf(cost, 1) {
+		t.Error("no cost predicted")
+	}
+	if sv, _ := preds.Decide(feat, func(Solver) bool { return false }); sv >= 0 {
+		t.Errorf("empty validity set chose %v", sv)
+	}
+}
+
+func TestTrainErrorsWithoutData(t *testing.T) {
+	if _, err := Train(nil, gbt.DefaultParams(), 1); err == nil {
+		t.Error("empty sample set accepted")
+	}
+}
+
+func TestOracleBest(t *testing.T) {
+	s := Sample{Cost: map[Solver]float64{SolverCG: 100, SolverGMRES: 50}}
+	sv, c := OracleBest(&s)
+	if sv != SolverGMRES || c != 50 {
+		t.Errorf("OracleBest = %v/%g", sv, c)
+	}
+	empty := Sample{Cost: map[Solver]float64{}}
+	if sv, _ := OracleBest(&empty); sv >= 0 {
+		t.Errorf("OracleBest on empty = %v", sv)
+	}
+}
+
+func TestSolverStrings(t *testing.T) {
+	want := map[Solver]string{SolverCG: "CG", SolverBiCGSTAB: "BiCGSTAB", SolverGMRES: "GMRES", SolverJacobi: "Jacobi"}
+	for sv, name := range want {
+		if sv.String() != name {
+			t.Errorf("%d.String() = %q", int(sv), sv.String())
+		}
+	}
+	if Solver(99).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+}

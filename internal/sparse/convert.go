@@ -1,0 +1,608 @@
+package sparse
+
+import "fmt"
+
+// Limits bounds the storage blowup a conversion may incur, mirroring the
+// library restrictions the paper mentions ("the DIA and ELL require the fill
+// ratio ... within some threshold"). A conversion whose padded storage would
+// exceed limit*nnz slots is rejected as invalid for that matrix.
+type Limits struct {
+	// DIAFill caps (ndiags * rows) / nnz for DIA.
+	DIAFill float64
+	// ELLFill caps (rows * width) / nnz for ELL.
+	ELLFill float64
+	// BSRFill caps (blocks * blockSize^2) / nnz for BSR.
+	BSRFill float64
+	// BSRBlockSize is the dense block edge used when converting to BSR.
+	BSRBlockSize int
+	// HYBRowFraction sets the CUSP-style ELL-width heuristic for HYB: slot
+	// column w is kept in the ELL part while at least HYBRowFraction of the
+	// rows have w or more entries.
+	HYBRowFraction float64
+}
+
+// DefaultLimits are the limits used throughout the experiments. They mirror
+// CUSP's defaults: DIA and ELL allowed up to a 20x / 10x storage blowup,
+// HYB keeps a slot column while a third of the rows use it.
+var DefaultLimits = Limits{
+	DIAFill:        20,
+	ELLFill:        10,
+	BSRFill:        8,
+	BSRBlockSize:   4,
+	HYBRowFraction: 1.0 / 3.0,
+}
+
+// COOToCSR converts a (normalized, sorted) COO matrix to CSR.
+func COOToCSR(a *COO) (*CSR, error) {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+	ptr := make([]int, rows+1)
+	for _, r := range a.Row {
+		ptr[r+1]++
+	}
+	for i := 0; i < rows; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	col := make([]int32, nnz)
+	data := make([]float64, nnz)
+	copy(col, a.Col)
+	copy(data, a.Data)
+	return NewCSR(rows, cols, ptr, col, data)
+}
+
+// CSRToCOO converts a CSR matrix to COO.
+func CSRToCOO(a *CSR) (*COO, error) {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+	row := make([]int32, nnz)
+	for i := 0; i < rows; i++ {
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			row[k] = int32(i)
+		}
+	}
+	return NewCOO(rows, cols, row, a.Col, a.Data)
+}
+
+// CSRDiagonals returns the sorted offsets of the nonempty diagonals of a.
+// A dense occupancy bitmap (shifted by rows-1) keeps this O(nnz+rows+cols);
+// the selector calls it at runtime, so it must stay cheap relative to SpMV.
+func CSRDiagonals(a *CSR) []int {
+	rows, cols := a.Dims()
+	if rows == 0 || cols == 0 {
+		return nil
+	}
+	seen := make([]bool, rows+cols-1)
+	count := 0
+	for i := 0; i < rows; i++ {
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			d := int(a.Col[k]) - i + rows - 1
+			if !seen[d] {
+				seen[d] = true
+				count++
+			}
+		}
+	}
+	offs := make([]int, 0, count)
+	for d, ok := range seen {
+		if ok {
+			offs = append(offs, d-(rows-1))
+		}
+	}
+	return offs
+}
+
+// CSRToDIA converts to DIA, rejecting matrices whose diagonal structure
+// would exceed lim.DIAFill storage blowup.
+func CSRToDIA(a *CSR, lim Limits) (*DIA, error) {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+	offs := CSRDiagonals(a)
+	if nnz > 0 && float64(len(offs))*float64(rows) > lim.DIAFill*float64(nnz) {
+		return nil, fmt.Errorf("sparse: DIA fill ratio %.1f exceeds limit %.1f (%d diagonals)",
+			float64(len(offs))*float64(rows)/float64(nnz), lim.DIAFill, len(offs))
+	}
+	diagIdx := make(map[int]int, len(offs))
+	for d, k := range offs {
+		diagIdx[k] = d
+	}
+	data := make([]float64, len(offs)*rows)
+	for i := 0; i < rows; i++ {
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			d := diagIdx[int(a.Col[k])-i]
+			data[d*rows+i] = a.Data[k]
+		}
+	}
+	return NewDIA(rows, cols, offs, data)
+}
+
+// DIAToCSR converts a DIA matrix to CSR, dropping the zero padding (and any
+// explicitly stored zeros, which DIA cannot distinguish from padding).
+func DIAToCSR(a *DIA) (*CSR, error) {
+	rows, cols := a.Dims()
+	ptr := make([]int, rows+1)
+	for d, k := range a.Offsets {
+		lo, hi := diagRowRange(rows, cols, k)
+		for i := lo; i < hi; i++ {
+			if a.Data[d*rows+i] != 0 {
+				ptr[i+1]++
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	nnz := ptr[rows]
+	col := make([]int32, nnz)
+	data := make([]float64, nnz)
+	next := make([]int, rows)
+	copy(next, ptr[:rows])
+	// Offsets ascend, so filling diagonal-by-diagonal would break the
+	// per-row column ordering; fill row-by-row instead.
+	for i := 0; i < rows; i++ {
+		for d, k := range a.Offsets {
+			j := i + k
+			if j < 0 || j >= cols {
+				continue
+			}
+			if v := a.Data[d*rows+i]; v != 0 {
+				col[next[i]] = int32(j)
+				data[next[i]] = v
+				next[i]++
+			}
+		}
+	}
+	return NewCSR(rows, cols, ptr, col, data)
+}
+
+// CSRToELL converts to ELL with width = max row nnz, rejecting matrices
+// whose padding would exceed lim.ELLFill storage blowup.
+func CSRToELL(a *CSR, lim Limits) (*ELL, error) {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+	width := a.MaxRowNNZ()
+	if nnz > 0 && float64(rows)*float64(width) > lim.ELLFill*float64(nnz) {
+		return nil, fmt.Errorf("sparse: ELL fill ratio %.1f exceeds limit %.1f (width %d)",
+			float64(rows)*float64(width)/float64(nnz), lim.ELLFill, width)
+	}
+	colIdx := make([]int32, rows*width)
+	data := make([]float64, rows*width)
+	for i := range colIdx {
+		colIdx[i] = ELLPad
+	}
+	for i := 0; i < rows; i++ {
+		base := i * width
+		for n, k := 0, a.Ptr[i]; k < a.Ptr[i+1]; n, k = n+1, k+1 {
+			colIdx[base+n] = a.Col[k]
+			data[base+n] = a.Data[k]
+		}
+	}
+	return NewELL(rows, cols, width, colIdx, data)
+}
+
+// ELLToCSR converts an ELL matrix to CSR, dropping padding.
+func ELLToCSR(a *ELL) (*CSR, error) {
+	rows, cols := a.Dims()
+	ptr := make([]int, rows+1)
+	for i := 0; i < rows; i++ {
+		n := 0
+		for j := 0; j < a.Width; j++ {
+			if a.Cols[i*a.Width+j] == ELLPad {
+				break
+			}
+			n++
+		}
+		ptr[i+1] = ptr[i] + n
+	}
+	nnz := ptr[rows]
+	col := make([]int32, 0, nnz)
+	data := make([]float64, 0, nnz)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < a.Width; j++ {
+			c := a.Cols[i*a.Width+j]
+			if c == ELLPad {
+				break
+			}
+			col = append(col, c)
+			data = append(data, a.Data[i*a.Width+j])
+		}
+	}
+	return NewCSR(rows, cols, ptr, col, data)
+}
+
+// HYBWidth computes the CUSP-style ELL width for the hybrid format: keep
+// slot column w while at least rowFraction of the rows have > w entries.
+func HYBWidth(a *CSR, rowFraction float64) int {
+	rows, _ := a.Dims()
+	if rows == 0 {
+		return 0
+	}
+	maxW := a.MaxRowNNZ()
+	// hist[w] = number of rows with at least w entries.
+	hist := make([]int, maxW+2)
+	for i := 0; i < rows; i++ {
+		hist[a.RowNNZ(i)]++
+	}
+	atLeast := 0
+	threshold := int(rowFraction * float64(rows))
+	if threshold < 1 {
+		threshold = 1
+	}
+	width := 0
+	for w := maxW; w >= 1; w-- {
+		atLeast += hist[w]
+		if atLeast >= threshold {
+			width = w
+			break
+		}
+	}
+	return width
+}
+
+// CSRToHYB converts to HYB using the width heuristic in lim.HYBRowFraction.
+func CSRToHYB(a *CSR, lim Limits) (*HYB, error) {
+	rows, cols := a.Dims()
+	width := HYBWidth(a, lim.HYBRowFraction)
+	colIdx := make([]int32, rows*width)
+	data := make([]float64, rows*width)
+	for i := range colIdx {
+		colIdx[i] = ELLPad
+	}
+	var orow, ocol []int32
+	var oval []float64
+	for i := 0; i < rows; i++ {
+		base := i * width
+		n := 0
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			if n < width {
+				colIdx[base+n] = a.Col[k]
+				data[base+n] = a.Data[k]
+				n++
+			} else {
+				orow = append(orow, int32(i))
+				ocol = append(ocol, a.Col[k])
+				oval = append(oval, a.Data[k])
+			}
+		}
+	}
+	ell, err := NewELL(rows, cols, width, colIdx, data)
+	if err != nil {
+		return nil, err
+	}
+	coo, err := NewCOO(rows, cols, orow, ocol, oval)
+	if err != nil {
+		return nil, err
+	}
+	return NewHYB(ell, coo)
+}
+
+// HYBToCSR converts a HYB matrix back to CSR by merging the parts.
+func HYBToCSR(a *HYB) (*CSR, error) {
+	ellCSR, err := ELLToCSR(a.Ell)
+	if err != nil {
+		return nil, err
+	}
+	if a.Coo.NNZ() == 0 {
+		return ellCSR, nil
+	}
+	ellCOO, err := CSRToCOO(ellCSR)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := a.Dims()
+	merged, err := NewCOO(rows, cols,
+		append(ellCOO.Row, a.Coo.Row...),
+		append(ellCOO.Col, a.Coo.Col...),
+		append(ellCOO.Data, a.Coo.Data...))
+	if err != nil {
+		return nil, err
+	}
+	return COOToCSR(merged)
+}
+
+// CSRToBSR converts to BSR with lim.BSRBlockSize dense blocks, rejecting
+// matrices whose block padding would exceed lim.BSRFill storage blowup.
+func CSRToBSR(a *CSR, lim Limits) (*BSR, error) {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+	bs := lim.BSRBlockSize
+	if bs <= 0 {
+		return nil, fmt.Errorf("sparse: BSR block size %d, want > 0", bs)
+	}
+	brows := (rows + bs - 1) / bs
+	// Pass 1: count distinct blocks per block row.
+	rowPtr := make([]int, brows+1)
+	mark := make([]int, (cols+bs-1)/bs) // last block row that used block col
+	for i := range mark {
+		mark[i] = -1
+	}
+	totalBlocks := 0
+	for bi := 0; bi < brows; bi++ {
+		count := 0
+		rhi := (bi + 1) * bs
+		if rhi > rows {
+			rhi = rows
+		}
+		for i := bi * bs; i < rhi; i++ {
+			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+				bj := int(a.Col[k]) / bs
+				if mark[bj] != bi {
+					mark[bj] = bi
+					count++
+				}
+			}
+		}
+		totalBlocks += count
+		rowPtr[bi+1] = totalBlocks
+	}
+	if nnz > 0 && float64(totalBlocks)*float64(bs*bs) > lim.BSRFill*float64(nnz) {
+		return nil, fmt.Errorf("sparse: BSR fill ratio %.1f exceeds limit %.1f (%d blocks of %dx%d)",
+			float64(totalBlocks)*float64(bs*bs)/float64(nnz), lim.BSRFill, totalBlocks, bs, bs)
+	}
+	// Pass 2: fill blocks. blockAt[bj] is the block slot for block column bj
+	// in the current block row, valid while mark[bj] == bi.
+	colInd := make([]int32, totalBlocks)
+	data := make([]float64, totalBlocks*bs*bs)
+	blockAt := make([]int, len(mark))
+	for i := range mark {
+		mark[i] = -1
+	}
+	for bi := 0; bi < brows; bi++ {
+		next := rowPtr[bi]
+		rhi := (bi + 1) * bs
+		if rhi > rows {
+			rhi = rows
+		}
+		for i := bi * bs; i < rhi; i++ {
+			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+				bj := int(a.Col[k]) / bs
+				if mark[bj] != bi {
+					mark[bj] = bi
+					blockAt[bj] = next
+					colInd[next] = int32(bj)
+					next++
+				}
+				b := blockAt[bj]
+				ii := i - bi*bs
+				jj := int(a.Col[k]) - bj*bs
+				data[b*bs*bs+ii*bs+jj] = a.Data[k]
+			}
+		}
+		// Block columns within a block row must ascend for NewBSR; CSR rows
+		// ascend per row but interleaving rows can break the order, so sort
+		// the slice of this block row's blocks.
+		sortBlockRow(colInd[rowPtr[bi]:rowPtr[bi+1]], data[rowPtr[bi]*bs*bs:rowPtr[bi+1]*bs*bs], bs)
+	}
+	return NewBSR(rows, cols, bs, rowPtr, colInd, data)
+}
+
+// sortBlockRow sorts the blocks of one block row by block column, moving the
+// bs*bs data chunks along with the indices (insertion sort: block rows are
+// short and nearly sorted).
+func sortBlockRow(cols []int32, data []float64, bs int) {
+	n := len(cols)
+	sq := bs * bs
+	tmp := make([]float64, sq)
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && cols[j-1] > cols[j] {
+			cols[j-1], cols[j] = cols[j], cols[j-1]
+			copy(tmp, data[(j-1)*sq:j*sq])
+			copy(data[(j-1)*sq:j*sq], data[j*sq:(j+1)*sq])
+			copy(data[j*sq:(j+1)*sq], tmp)
+			j--
+		}
+	}
+}
+
+// BSRBlockSizeCandidates are the block edges CSRToBSRAuto considers.
+var BSRBlockSizeCandidates = []int{2, 3, 4, 8}
+
+// BestBSRBlockSize returns the candidate block size with the smallest
+// storage fill (padded slots per nonzero), and that fill. An empty matrix
+// reports the first candidate with fill 0.
+func BestBSRBlockSize(a *CSR) (int, float64) {
+	nnz := a.NNZ()
+	best := BSRBlockSizeCandidates[0]
+	bestFill := 0.0
+	if nnz == 0 {
+		return best, 0
+	}
+	fills := make([]float64, len(BSRBlockSizeCandidates))
+	minFill := 1e308
+	for i, bs := range BSRBlockSizeCandidates {
+		blocks := countBlocksAt(a, bs)
+		fills[i] = float64(blocks*bs*bs) / float64(nnz)
+		if fills[i] < minFill {
+			minFill = fills[i]
+		}
+	}
+	// Among near-ties (within 1%), prefer the largest block size: equal
+	// storage with fewer blocks means fewer index loads per nonzero.
+	bestFill = minFill
+	for i, bs := range BSRBlockSizeCandidates {
+		if fills[i] <= minFill*1.01 {
+			best = bs
+			bestFill = fills[i]
+		}
+	}
+	return best, bestFill
+}
+
+// countBlocksAt counts occupied bs x bs blocks (same last-touch trick as
+// the BSR conversion).
+func countBlocksAt(a *CSR, bs int) int {
+	rows, cols := a.Dims()
+	bcols := (cols + bs - 1) / bs
+	if bcols == 0 {
+		return 0
+	}
+	mark := make([]int, bcols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	count := 0
+	for i := 0; i < rows; i++ {
+		bi := i / bs
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			bj := int(a.Col[k]) / bs
+			if mark[bj] != bi {
+				mark[bj] = bi
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// CSRToBSRAuto converts to BSR with the block size that minimizes storage
+// fill, still subject to lim.BSRFill.
+func CSRToBSRAuto(a *CSR, lim Limits) (*BSR, error) {
+	bs, _ := BestBSRBlockSize(a)
+	lim.BSRBlockSize = bs
+	return CSRToBSR(a, lim)
+}
+
+// BSRToCSR converts a BSR matrix back to CSR, dropping zero padding (and
+// explicit zeros inside blocks, which BSR cannot distinguish from padding).
+func BSRToCSR(a *BSR) (*CSR, error) {
+	rows, cols := a.Dims()
+	bs := a.BlockSize
+	ptr := make([]int, rows+1)
+	for bi := 0; bi < a.BlockRows(); bi++ {
+		for b := a.RowPtr[bi]; b < a.RowPtr[bi+1]; b++ {
+			for ii := 0; ii < bs; ii++ {
+				i := bi*bs + ii
+				if i >= rows {
+					break
+				}
+				for jj := 0; jj < bs; jj++ {
+					if a.Data[b*bs*bs+ii*bs+jj] != 0 {
+						ptr[i+1]++
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	nnz := ptr[rows]
+	col := make([]int32, nnz)
+	data := make([]float64, nnz)
+	next := make([]int, rows)
+	copy(next, ptr[:rows])
+	for bi := 0; bi < a.BlockRows(); bi++ {
+		for b := a.RowPtr[bi]; b < a.RowPtr[bi+1]; b++ {
+			cbase := int(a.ColInd[b]) * bs
+			for ii := 0; ii < bs; ii++ {
+				i := bi*bs + ii
+				if i >= rows {
+					break
+				}
+				for jj := 0; jj < bs; jj++ {
+					v := a.Data[b*bs*bs+ii*bs+jj]
+					if v == 0 {
+						continue
+					}
+					col[next[i]] = int32(cbase + jj)
+					data[next[i]] = v
+					next[i]++
+				}
+			}
+		}
+	}
+	return NewCSR(rows, cols, ptr, col, data)
+}
+
+// ConvertFromCSR converts a CSR matrix into the requested format under the
+// given limits. Converting to CSR returns the input unchanged.
+func ConvertFromCSR(a *CSR, to Format, lim Limits) (Matrix, error) {
+	switch to {
+	case FmtCSR:
+		return a, nil
+	case FmtCOO:
+		return CSRToCOO(a)
+	case FmtDIA:
+		return CSRToDIA(a, lim)
+	case FmtELL:
+		return CSRToELL(a, lim)
+	case FmtHYB:
+		return CSRToHYB(a, lim)
+	case FmtBSR:
+		return CSRToBSR(a, lim)
+	case FmtCSR5:
+		return NewCSR5FromCSR(a)
+	case FmtSELL:
+		return NewSELLFromCSR(a)
+	case FmtCSC:
+		return CSRToCSC(a)
+	default:
+		return nil, fmt.Errorf("sparse: cannot convert to %v", to)
+	}
+}
+
+// ToCSR converts any supported matrix back to CSR. Formats that store
+// padding (DIA, ELL, BSR) drop explicitly stored zeros in the round trip.
+func ToCSR(m Matrix) (*CSR, error) {
+	switch a := m.(type) {
+	case *CSR:
+		return a, nil
+	case *COO:
+		return COOToCSR(a)
+	case *DIA:
+		return DIAToCSR(a)
+	case *ELL:
+		return ELLToCSR(a)
+	case *HYB:
+		return HYBToCSR(a)
+	case *BSR:
+		return BSRToCSR(a)
+	case *CSR5:
+		return a.ToCSR()
+	case *SELL:
+		return a.ToCSR()
+	case *CSC:
+		return a.ToCSR()
+	default:
+		return nil, fmt.Errorf("sparse: cannot convert %v to CSR", m.Format())
+	}
+}
+
+// Convert converts between any two supported formats, routing through CSR.
+func Convert(m Matrix, to Format, lim Limits) (Matrix, error) {
+	if m.Format() == to {
+		return m, nil
+	}
+	csr, err := ToCSR(m)
+	if err != nil {
+		return nil, err
+	}
+	return ConvertFromCSR(csr, to, lim)
+}
+
+// CanConvert reports whether a can be represented in the given format under
+// the limits, without building the full target representation where a cheap
+// test exists.
+func CanConvert(a *CSR, to Format, lim Limits) bool {
+	nnz := a.NNZ()
+	rows, _ := a.Dims()
+	switch to {
+	case FmtCSR, FmtCOO, FmtCSC, FmtCSR5, FmtHYB, FmtSELL:
+		return true
+	case FmtDIA:
+		if nnz == 0 {
+			return true
+		}
+		return float64(len(CSRDiagonals(a)))*float64(rows) <= lim.DIAFill*float64(nnz)
+	case FmtELL:
+		if nnz == 0 {
+			return true
+		}
+		return float64(rows)*float64(a.MaxRowNNZ()) <= lim.ELLFill*float64(nnz)
+	case FmtBSR:
+		_, err := CSRToBSR(a, lim)
+		return err == nil
+	default:
+		return false
+	}
+}

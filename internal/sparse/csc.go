@@ -1,0 +1,190 @@
+package sparse
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// CSC stores a matrix in compressed sparse column format: ColPtr[j] ..
+// ColPtr[j+1] delimit column j's entries in RowIdx and Data, with row
+// indices sorted ascending within each column. CSC is the transpose-dual of
+// CSR; its SpMV is a scatter (y[row] += v * x[j]), which writes y
+// non-contiguously — a structurally different (and usually worse) memory
+// pattern that completes the classic format set.
+type CSC struct {
+	rows, cols int
+	ColPtr     []int
+	RowIdx     []int32
+	Data       []float64
+
+	colRanges [][2]int // cached nnz-balanced column partition
+}
+
+// NewCSC builds a CSC matrix from raw arrays, validating the structure.
+// The slices are retained.
+func NewCSC(rows, cols int, colPtr []int, rowIdx []int32, data []float64) (*CSC, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimensions %dx%d", rows, cols)
+	}
+	if len(colPtr) != cols+1 {
+		return nil, fmt.Errorf("sparse: CSC colPtr length %d, want %d", len(colPtr), cols+1)
+	}
+	if colPtr[0] != 0 {
+		return nil, fmt.Errorf("sparse: CSC colPtr[0] = %d, want 0", colPtr[0])
+	}
+	if len(rowIdx) != len(data) {
+		return nil, fmt.Errorf("sparse: CSC rowIdx/data lengths differ: %d vs %d", len(rowIdx), len(data))
+	}
+	if colPtr[cols] != len(data) {
+		return nil, fmt.Errorf("sparse: CSC colPtr[cols] = %d, want nnz %d", colPtr[cols], len(data))
+	}
+	for j := 0; j < cols; j++ {
+		if colPtr[j] > colPtr[j+1] {
+			return nil, fmt.Errorf("sparse: CSC colPtr not monotone at column %d", j)
+		}
+		prev := int32(-1)
+		for k := colPtr[j]; k < colPtr[j+1]; k++ {
+			r := rowIdx[k]
+			if r < 0 || int(r) >= rows {
+				return nil, fmt.Errorf("sparse: CSC row %d out of range in column %d", r, j)
+			}
+			if r <= prev {
+				return nil, fmt.Errorf("sparse: CSC rows not strictly ascending in column %d", j)
+			}
+			prev = r
+		}
+	}
+	m := &CSC{rows: rows, cols: cols, ColPtr: colPtr, RowIdx: rowIdx, Data: data}
+	m.colRanges = parallel.PartitionByWeight(cols, parallel.Workers(), colPtr)
+	return m, nil
+}
+
+// Format implements Matrix.
+func (m *CSC) Format() Format { return FmtCSC }
+
+// Dims implements Matrix.
+func (m *CSC) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ implements Matrix.
+func (m *CSC) NNZ() int { return len(m.Data) }
+
+// Bytes implements Matrix.
+func (m *CSC) Bytes() int64 {
+	return int64(len(m.ColPtr))*8 + int64(len(m.RowIdx))*4 + int64(len(m.Data))*8
+}
+
+// SpMV implements Matrix: the column-major scatter kernel.
+func (m *CSC) SpMV(y, x []float64) {
+	checkSpMVDims(m.rows, m.cols, y, x)
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < m.cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			y[m.RowIdx[k]] += m.Data[k] * xj
+		}
+	}
+}
+
+// SpMVParallel implements Matrix. Column chunks scatter into disjoint
+// per-worker buffers which are then reduced in parallel over row ranges —
+// the standard way to parallelize a scatter without atomics. The extra
+// buffer traffic is part of why CSC loses to CSR on this kernel, which the
+// format-selection cost model reflects.
+func (m *CSC) SpMVParallel(y, x []float64) {
+	checkSpMVDims(m.rows, m.cols, y, x)
+	p := len(m.colRanges)
+	if p <= 1 || m.NNZ() < parallel.MinParallelWork {
+		m.SpMV(y, x)
+		return
+	}
+	bufs := make([][]float64, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w, r := range m.colRanges {
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			buf := make([]float64, m.rows)
+			for j := lo; j < hi; j++ {
+				xj := x[j]
+				if xj == 0 {
+					continue
+				}
+				for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+					buf[m.RowIdx[k]] += m.Data[k] * xj
+				}
+			}
+			bufs[w] = buf
+		}(w, r[0], r[1])
+	}
+	wg.Wait()
+	parallel.For(m.rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for w := 0; w < p; w++ {
+				s += bufs[w][i]
+			}
+			y[i] = s
+		}
+	})
+}
+
+// CSRToCSC converts a CSR matrix to CSC (a transpose of the index
+// structure with values carried along).
+func CSRToCSC(a *CSR) (*CSC, error) {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+	colPtr := make([]int, cols+1)
+	for _, c := range a.Col {
+		colPtr[c+1]++
+	}
+	for j := 0; j < cols; j++ {
+		colPtr[j+1] += colPtr[j]
+	}
+	rowIdx := make([]int32, nnz)
+	data := make([]float64, nnz)
+	next := make([]int, cols)
+	copy(next, colPtr[:cols])
+	for i := 0; i < rows; i++ {
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			c := a.Col[k]
+			pos := next[c]
+			next[c]++
+			rowIdx[pos] = int32(i)
+			data[pos] = a.Data[k]
+		}
+	}
+	return NewCSC(rows, cols, colPtr, rowIdx, data)
+}
+
+// CSCToCSR converts back to CSR.
+func (m *CSC) ToCSR() (*CSR, error) {
+	ptr := make([]int, m.rows+1)
+	for _, r := range m.RowIdx {
+		ptr[r+1]++
+	}
+	for i := 0; i < m.rows; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	nnz := m.NNZ()
+	col := make([]int32, nnz)
+	data := make([]float64, nnz)
+	next := make([]int, m.rows)
+	copy(next, ptr[:m.rows])
+	for j := 0; j < m.cols; j++ {
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			r := m.RowIdx[k]
+			pos := next[r]
+			next[r]++
+			col[pos] = int32(j)
+			data[pos] = m.Data[k]
+		}
+	}
+	return NewCSR(m.rows, m.cols, ptr, col, data)
+}

@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewCSCValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		rows   int
+		cols   int
+		colPtr []int
+		rowIdx []int32
+		data   []float64
+	}{
+		{"bad colPtr len", 2, 2, []int{0, 1}, []int32{0}, []float64{1}},
+		{"colPtr0 nonzero", 2, 2, []int{1, 1, 1}, []int32{0}, []float64{1}},
+		{"colPtr mismatch nnz", 2, 2, []int{0, 1, 3}, []int32{0, 1}, []float64{1, 2}},
+		{"nonmonotone colPtr", 2, 2, []int{0, 2, 1}, []int32{0, 1}, nil},
+		{"row out of range", 2, 1, []int{0, 1}, []int32{5}, []float64{1}},
+		{"rows unsorted", 3, 1, []int{0, 2}, []int32{2, 0}, []float64{1, 2}},
+		{"duplicate row", 3, 1, []int{0, 2}, []int32{1, 1}, []float64{1, 2}},
+		{"negative dims", -1, 2, []int{0}, nil, nil},
+		{"rowIdx/data mismatch", 2, 1, []int{0, 1}, []int32{0}, []float64{1, 2}},
+	}
+	for _, c := range cases {
+		if _, err := NewCSC(c.rows, c.cols, c.colPtr, c.rowIdx, c.data); err == nil {
+			t.Errorf("%s: NewCSC accepted invalid input", c.name)
+		}
+	}
+}
+
+func TestCSCScatterSkipsZeroX(t *testing.T) {
+	// The x[j] == 0 fast path must not change results.
+	rng := rand.New(rand.NewSource(1))
+	a := randCSR(t, rng, 100, 120, 0.08)
+	m, err := CSRToCSC(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng, 120)
+	for j := 0; j < 120; j += 3 {
+		x[j] = 0
+	}
+	want := make([]float64, 100)
+	a.SpMV(want, x)
+	got := make([]float64, 100)
+	m.SpMV(got, x)
+	vecsClose(t, got, want, 1e-12, "CSC zero-x")
+}
+
+func TestCSCParallelDenseColumn(t *testing.T) {
+	// One dense column stresses the per-worker scatter buffers.
+	rows, cols := 600, 600
+	ptr := make([]int, rows+1)
+	var col []int32
+	var data []float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < rows; i++ {
+		col = append(col, 0) // dense column 0
+		data = append(data, rng.NormFloat64())
+		if i%2 == 0 {
+			col = append(col, int32(1+rng.Intn(cols-1)))
+			data = append(data, rng.NormFloat64())
+			if col[len(col)-1] < col[len(col)-2] {
+				col[len(col)-1], col[len(col)-2] = col[len(col)-2], col[len(col)-1]
+				data[len(data)-1], data[len(data)-2] = data[len(data)-2], data[len(data)-1]
+			}
+		}
+		ptr[i+1] = len(data)
+	}
+	a, err := NewCSR(rows, cols, ptr, col, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CSRToCSC(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng, cols)
+	want := make([]float64, rows)
+	a.SpMV(want, x)
+	got := make([]float64, rows)
+	m.SpMVParallel(got, x)
+	vecsClose(t, got, want, 1e-12, "CSC dense column parallel")
+}
+
+func TestCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randCSR(t, rng, 50, 70, 0.1)
+	m, err := CSRToCSC(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := m.ToCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := EqualValues(a, back, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("CSC round trip changed values")
+	}
+}

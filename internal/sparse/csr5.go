@@ -1,0 +1,265 @@
+package sparse
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// CSR5 tile geometry. A tile holds Sigma*Omega consecutive nonzeros,
+// written column-major into a Sigma x Omega block (lane j owns elements
+// [j*Sigma, (j+1)*Sigma) of the tile) and stored row-major, which is the
+// tile-transposed layout of Liu & Vinter's CSR5.
+const (
+	CSR5Omega = 4  // lanes per tile
+	CSR5Sigma = 16 // elements per lane
+	// CSR5Tile is the number of nonzeros per full tile.
+	CSR5Tile = CSR5Omega * CSR5Sigma
+)
+
+// CSR5 stores a matrix in a CSR5-style tiled segmented-sum format: the
+// nonzeros (in CSR order) are grouped into fixed-size tiles with a
+// tile-transposed value/column layout, a per-tile bit flag marking the
+// elements that begin a new row, and per-tile lists of the rows starting
+// inside the tile. Nonzeros past the last full tile live in a small COO
+// tail.
+//
+// Compared to CSR, SpMV over CSR5 trades the row loop for per-tile
+// segmented sums; the strided intra-tile access gives the format a
+// distinctly different cost profile, which is what the format-selection
+// experiments need.
+type CSR5 struct {
+	rows, cols int
+	nnz        int
+
+	Val []float64 // tile-transposed values, len == ntiles*CSR5Tile
+	Col []int32   // tile-transposed column indices
+
+	BitFlag      []uint64 // one word per tile; bit e set when tile element e starts a row
+	TileFirstRow []int32  // row containing the first element of each tile
+	RowStartPtr  []int    // prefix offsets into RowStartRows per tile, len == ntiles+1
+	RowStartRows []int32  // rows beginning inside each tile, in order
+
+	TailRow []int32 // COO tail for nnz % CSR5Tile leftover elements
+	TailCol []int32
+	TailVal []float64
+}
+
+// Format implements Matrix.
+func (m *CSR5) Format() Format { return FmtCSR5 }
+
+// Dims implements Matrix.
+func (m *CSR5) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ implements Matrix.
+func (m *CSR5) NNZ() int { return m.nnz }
+
+// NumTiles returns the number of full tiles.
+func (m *CSR5) NumTiles() int { return len(m.BitFlag) }
+
+// Bytes implements Matrix.
+func (m *CSR5) Bytes() int64 {
+	return int64(len(m.Val))*8 + int64(len(m.Col))*4 +
+		int64(len(m.BitFlag))*8 + int64(len(m.TileFirstRow))*4 +
+		int64(len(m.RowStartPtr))*8 + int64(len(m.RowStartRows))*4 +
+		int64(len(m.TailRow))*4 + int64(len(m.TailCol))*4 + int64(len(m.TailVal))*8
+}
+
+// transposedPos maps a tile-local element index (in CSR order) to its
+// position in the tile-transposed storage.
+func transposedPos(e int) int {
+	lane := e / CSR5Sigma
+	depth := e % CSR5Sigma
+	return depth*CSR5Omega + lane
+}
+
+// NewCSR5FromCSR converts a CSR matrix into the CSR5-style layout.
+func NewCSR5FromCSR(a *CSR) (*CSR5, error) {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+	ntiles := nnz / CSR5Tile
+	m := &CSR5{
+		rows: rows, cols: cols, nnz: nnz,
+		Val:          make([]float64, ntiles*CSR5Tile),
+		Col:          make([]int32, ntiles*CSR5Tile),
+		BitFlag:      make([]uint64, ntiles),
+		TileFirstRow: make([]int32, ntiles),
+		RowStartPtr:  make([]int, ntiles+1),
+	}
+	// rowOf[e] for the tiled prefix is implied by walking rows in order.
+	row := 0
+	advance := func(e int) {
+		// Move row forward so that Ptr[row] <= e < Ptr[row+1]; rows with no
+		// entries are skipped (they never own an element).
+		for row < rows && a.Ptr[row+1] <= e {
+			row++
+		}
+	}
+	for t := 0; t < ntiles; t++ {
+		base := t * CSR5Tile
+		advance(base)
+		m.TileFirstRow[t] = int32(row)
+		for e := 0; e < CSR5Tile; e++ {
+			g := base + e
+			advance(g)
+			pos := base + transposedPos(e)
+			m.Val[pos] = a.Data[g]
+			m.Col[pos] = a.Col[g]
+			if g == a.Ptr[row] {
+				m.BitFlag[t] |= 1 << uint(e)
+				m.RowStartRows = append(m.RowStartRows, int32(row))
+			}
+		}
+		m.RowStartPtr[t+1] = len(m.RowStartRows)
+	}
+	for g := ntiles * CSR5Tile; g < nnz; g++ {
+		advance(g)
+		m.TailRow = append(m.TailRow, int32(row))
+		m.TailCol = append(m.TailCol, a.Col[g])
+		m.TailVal = append(m.TailVal, a.Data[g])
+	}
+	return m, nil
+}
+
+// ToCSR converts back to CSR, reconstructing the row structure from the bit
+// flags and the tail.
+func (m *CSR5) ToCSR() (*CSR, error) {
+	ptr := make([]int, m.rows+1)
+	col := make([]int32, m.nnz)
+	data := make([]float64, m.nnz)
+	g := 0
+	cur := int32(0)
+	for t := range m.BitFlag {
+		base := t * CSR5Tile
+		cur = m.TileFirstRow[t]
+		next := m.RowStartPtr[t]
+		for e := 0; e < CSR5Tile; e++ {
+			if m.BitFlag[t]&(1<<uint(e)) != 0 {
+				cur = m.RowStartRows[next]
+				next++
+			}
+			pos := base + transposedPos(e)
+			col[g] = m.Col[pos]
+			data[g] = m.Val[pos]
+			ptr[cur+1]++
+			g++
+		}
+	}
+	for k := range m.TailVal {
+		col[g] = m.TailCol[k]
+		data[g] = m.TailVal[k]
+		ptr[m.TailRow[k]+1]++
+		g++
+	}
+	if g != m.nnz {
+		return nil, fmt.Errorf("sparse: CSR5 reconstruction emitted %d of %d entries", g, m.nnz)
+	}
+	for i := 0; i < m.rows; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	return NewCSR(m.rows, m.cols, ptr, col, data)
+}
+
+// SpMV implements Matrix: per-tile segmented sum over the transposed
+// layout, then the scalar COO tail.
+func (m *CSR5) SpMV(y, x []float64) {
+	checkSpMVDims(m.rows, m.cols, y, x)
+	for i := range y {
+		y[i] = 0
+	}
+	m.spmvTiles(y, x, 0, len(m.BitFlag), -1, nil)
+	for k, v := range m.TailVal {
+		y[m.TailRow[k]] += v * x[m.TailCol[k]]
+	}
+}
+
+// spmvTiles processes tiles [tlo, thi). Contributions to row enterRow are
+// accumulated into *firstSum instead of y, which lets the parallel kernel
+// avoid races on rows spanning worker boundaries; pass enterRow = -1 to
+// write everything to y directly.
+func (m *CSR5) spmvTiles(y, x []float64, tlo, thi int, enterRow int32, firstSum *float64) {
+	flush := func(row int32, sum float64) {
+		if row == enterRow {
+			*firstSum += sum
+		} else {
+			y[row] += sum
+		}
+	}
+	if enterRow < 0 {
+		flush = func(row int32, sum float64) { y[row] += sum }
+	}
+	for t := tlo; t < thi; t++ {
+		base := t * CSR5Tile
+		flags := m.BitFlag[t]
+		cur := m.TileFirstRow[t]
+		next := m.RowStartPtr[t]
+		var sum float64
+		for e := 0; e < CSR5Tile; e++ {
+			if flags&(1<<uint(e)) != 0 {
+				if sum != 0 || e > 0 {
+					flush(cur, sum)
+				}
+				sum = 0
+				cur = m.RowStartRows[next]
+				next++
+			}
+			pos := base + transposedPos(e)
+			sum += m.Val[pos] * x[m.Col[pos]]
+		}
+		flush(cur, sum)
+	}
+}
+
+// SpMVParallel implements Matrix. Tiles are split into contiguous ranges;
+// each worker funnels contributions to the row open at its entry into a
+// local sum, merged serially afterwards, so no two goroutines write the
+// same y element.
+func (m *CSR5) SpMVParallel(y, x []float64) {
+	checkSpMVDims(m.rows, m.cols, y, x)
+	ntiles := len(m.BitFlag)
+	p := parallel.Workers()
+	if p <= 1 || m.nnz < parallel.MinParallelWork || ntiles < p {
+		m.SpMV(y, x)
+		return
+	}
+	parallel.For(m.rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] = 0
+		}
+	})
+	type edge struct {
+		row int32
+		sum float64
+	}
+	edges := make([]edge, p)
+	chunk := (ntiles + p - 1) / p
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			tlo := w * chunk
+			thi := tlo + chunk
+			if thi > ntiles {
+				thi = ntiles
+			}
+			if tlo >= thi {
+				edges[w].row = -1
+				return
+			}
+			enter := m.TileFirstRow[tlo]
+			edges[w].row = enter
+			m.spmvTiles(y, x, tlo, thi, enter, &edges[w].sum)
+		}(w)
+	}
+	wg.Wait()
+	for _, e := range edges {
+		if e.row >= 0 {
+			y[e.row] += e.sum
+		}
+	}
+	for k, v := range m.TailVal {
+		y[m.TailRow[k]] += v * x[m.TailCol[k]]
+	}
+}

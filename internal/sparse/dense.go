@@ -1,0 +1,63 @@
+package sparse
+
+import "math"
+
+// FromDense builds a CSR matrix from a row-major dense matrix, storing every
+// nonzero entry. Intended for tests and small examples.
+func FromDense(rows, cols int, dense []float64) (*CSR, error) {
+	ptr := make([]int, rows+1)
+	var col []int32
+	var data []float64
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if v := dense[i*cols+j]; v != 0 {
+				col = append(col, int32(j))
+				data = append(data, v)
+			}
+		}
+		ptr[i+1] = len(data)
+	}
+	return NewCSR(rows, cols, ptr, col, data)
+}
+
+// ToDense expands any supported matrix to a row-major dense matrix by
+// multiplying against unit vectors' worth of structure — concretely, by
+// converting to CSR and scattering. Intended for tests.
+func ToDense(m Matrix) ([]float64, error) {
+	csr, err := ToCSR(m)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := csr.Dims()
+	dense := make([]float64, rows*cols)
+	for i := 0; i < rows; i++ {
+		for k := csr.Ptr[i]; k < csr.Ptr[i+1]; k++ {
+			dense[i*cols+int(csr.Col[k])] = csr.Data[k]
+		}
+	}
+	return dense, nil
+}
+
+// EqualValues reports whether two matrices represent the same values within
+// tol, comparing densified contents. Intended for tests; cost is O(rows*cols).
+func EqualValues(a, b Matrix, tol float64) (bool, error) {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	if ar != br || ac != bc {
+		return false, nil
+	}
+	da, err := ToDense(a)
+	if err != nil {
+		return false, err
+	}
+	db, err := ToDense(b)
+	if err != nil {
+		return false, err
+	}
+	for i := range da {
+		if math.Abs(da[i]-db[i]) > tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,104 @@
+// Package sparse implements the seven sparse-matrix storage formats the
+// paper selects among — COO, CSR, DIA, ELL, HYB, BSR and CSR5 — together
+// with their SpMV kernels (serial and goroutine-parallel) and the format
+// conversions whose runtime cost is the subject of the paper.
+//
+// CSR is the hub format: every other format converts to and from CSR, and
+// CSR is the default format applications start from, matching the paper's
+// experimental setup.
+package sparse
+
+import "fmt"
+
+// Format identifies a sparse storage format.
+type Format int
+
+// The storage formats studied in the paper, in the order of its Table V,
+// plus SELL-C-sigma — the "easily extended to other formats" exercise the
+// paper's §V-A proposes.
+const (
+	FmtCOO Format = iota
+	FmtCSR
+	FmtDIA
+	FmtELL
+	FmtHYB
+	FmtBSR
+	FmtCSR5
+	FmtSELL
+	FmtCSC
+	numFormats
+)
+
+// AllFormats lists every supported format, CSR first since it is the
+// default. The slice is shared; callers must not mutate it.
+var AllFormats = []Format{FmtCSR, FmtCOO, FmtCSC, FmtDIA, FmtELL, FmtHYB, FmtBSR, FmtCSR5, FmtSELL}
+
+// PaperFormats is the subset the paper's evaluation covers (AllFormats
+// minus the SELL-C-sigma extension).
+var PaperFormats = []Format{FmtCSR, FmtCOO, FmtDIA, FmtELL, FmtHYB, FmtBSR, FmtCSR5}
+
+// NumFormats is the number of supported formats.
+const NumFormats = int(numFormats)
+
+var formatNames = [...]string{
+	FmtCOO:  "COO",
+	FmtCSR:  "CSR",
+	FmtDIA:  "DIA",
+	FmtELL:  "ELL",
+	FmtHYB:  "HYB",
+	FmtBSR:  "BSR",
+	FmtCSR5: "CSR5",
+	FmtSELL: "SELL",
+	FmtCSC:  "CSC",
+}
+
+// String returns the conventional upper-case name of the format.
+func (f Format) String() string {
+	if f < 0 || int(f) >= len(formatNames) {
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+	return formatNames[f]
+}
+
+// Valid reports whether f is one of the supported formats.
+func (f Format) Valid() bool { return f >= 0 && f < numFormats }
+
+// ParseFormat converts a format name (as produced by String, case-sensitive)
+// back to a Format.
+func ParseFormat(s string) (Format, error) {
+	for i, name := range formatNames {
+		if name == s {
+			return Format(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sparse: unknown format %q", s)
+}
+
+// Matrix is the interface every storage format implements. SpMV computes
+// y = A*x, overwriting y. Implementations never retain x or y.
+type Matrix interface {
+	// Format identifies the storage format.
+	Format() Format
+	// Dims returns the number of rows and columns.
+	Dims() (rows, cols int)
+	// NNZ returns the number of stored nonzero entries (excluding padding).
+	NNZ() int
+	// SpMV computes y = A*x serially. Panics on dimension mismatch.
+	SpMV(y, x []float64)
+	// SpMVParallel computes y = A*x using multiple goroutines where the
+	// matrix is large enough for that to pay off.
+	SpMVParallel(y, x []float64)
+	// Bytes returns the storage footprint of the format's arrays, including
+	// padding. This is what the cost model and the feature set use.
+	Bytes() int64
+}
+
+// checkSpMVDims panics unless len(y) == rows and len(x) == cols.
+func checkSpMVDims(rows, cols int, y, x []float64) {
+	if len(y) != rows {
+		panic(fmt.Sprintf("sparse: SpMV output length %d, want %d rows", len(y), rows))
+	}
+	if len(x) != cols {
+		panic(fmt.Sprintf("sparse: SpMV input length %d, want %d cols", len(x), cols))
+	}
+}

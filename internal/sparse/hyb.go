@@ -1,0 +1,78 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// HYB stores a matrix as an ELL part holding the first EllWidth entries of
+// every row plus a COO part holding the overflow of long rows. This is the
+// CUSP hybrid format: the ELL width is chosen so the regular bulk of the
+// matrix gets the fast rectangular kernel while a few long rows do not blow
+// up the padding.
+type HYB struct {
+	rows, cols int
+	Ell        *ELL
+	Coo        *COO
+}
+
+// NewHYB wraps an ELL part and a COO overflow part into a hybrid matrix.
+// Both parts must have identical dimensions.
+func NewHYB(ell *ELL, coo *COO) (*HYB, error) {
+	er, ec := ell.Dims()
+	cr, cc := coo.Dims()
+	if er != cr || ec != cc {
+		return nil, fmt.Errorf("sparse: HYB part dimensions differ: ELL %dx%d vs COO %dx%d", er, ec, cr, cc)
+	}
+	return &HYB{rows: er, cols: ec, Ell: ell, Coo: coo}, nil
+}
+
+// Format implements Matrix.
+func (m *HYB) Format() Format { return FmtHYB }
+
+// Dims implements Matrix.
+func (m *HYB) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ implements Matrix.
+func (m *HYB) NNZ() int { return m.Ell.NNZ() + m.Coo.NNZ() }
+
+// Bytes implements Matrix.
+func (m *HYB) Bytes() int64 { return m.Ell.Bytes() + m.Coo.Bytes() }
+
+// EllWidth returns the width of the ELL part.
+func (m *HYB) EllWidth() int { return m.Ell.Width }
+
+// SpMV implements Matrix: ELL part first (writes y), then COO overflow
+// accumulates on top.
+func (m *HYB) SpMV(y, x []float64) {
+	checkSpMVDims(m.rows, m.cols, y, x)
+	m.Ell.SpMV(y, x)
+	for k, v := range m.Coo.Data {
+		y[m.Coo.Row[k]] += v * x[m.Coo.Col[k]]
+	}
+}
+
+// SpMVParallel implements Matrix. The ELL part runs fully parallel; the COO
+// overflow is typically tiny, so it is applied serially afterwards unless it
+// is itself large.
+func (m *HYB) SpMVParallel(y, x []float64) {
+	checkSpMVDims(m.rows, m.cols, y, x)
+	m.Ell.SpMVParallel(y, x)
+	if m.Coo.NNZ() >= parallel.MinParallelWork {
+		// Accumulate the overflow into a scratch vector in parallel, then
+		// add. The overflow COO kernel zeroes its output, so scratch is
+		// required to avoid clobbering the ELL result.
+		scratch := make([]float64, m.rows)
+		m.Coo.SpMVParallel(scratch, x)
+		parallel.For(m.rows, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				y[i] += scratch[i]
+			}
+		})
+		return
+	}
+	for k, v := range m.Coo.Data {
+		y[m.Coo.Row[k]] += v * x[m.Coo.Col[k]]
+	}
+}

@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSpMMMatchesRepeatedSpMV(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randCSR(t, rng, 120, 90, 0.08)
+	const k = 5
+	x := randVec(rng, 90*k)
+	y := make([]float64, 120*k)
+	a.SpMM(y, x, k)
+	// Reference: k column-extracted SpMVs.
+	xc := make([]float64, 90)
+	yc := make([]float64, 120)
+	for c := 0; c < k; c++ {
+		for j := 0; j < 90; j++ {
+			xc[j] = x[j*k+c]
+		}
+		a.SpMV(yc, xc)
+		for i := 0; i < 120; i++ {
+			if d := y[i*k+c] - yc[i]; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("column %d row %d: %g vs %g", c, i, y[i*k+c], yc[i])
+			}
+		}
+	}
+}
+
+func TestSpMMParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randCSR(t, rng, 500, 400, 0.05)
+	const k = 4
+	x := randVec(rng, 400*k)
+	want := make([]float64, 500*k)
+	a.SpMM(want, x, k)
+	got := make([]float64, 500*k)
+	a.SpMMParallel(got, x, k)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("element %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpMMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randCSR(t, rng, 10, 8, 0.3)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("k=0", func() { a.SpMM(make([]float64, 0), make([]float64, 0), 0) })
+	mustPanic("short y", func() { a.SpMM(make([]float64, 10), make([]float64, 16), 2) })
+	mustPanic("short x", func() { a.SpMM(make([]float64, 20), make([]float64, 15), 2) })
+}
+
+func TestBestBSRBlockSize(t *testing.T) {
+	// Dense 4x4 blocks on the diagonal: block size 4 must win with fill 1.
+	const bs = 4
+	rows := 64
+	dense := make([]float64, rows*rows)
+	for b := 0; b < rows/bs; b++ {
+		for ii := 0; ii < bs; ii++ {
+			for jj := 0; jj < bs; jj++ {
+				dense[(b*bs+ii)*rows+b*bs+jj] = 1
+			}
+		}
+	}
+	a, err := FromDense(rows, rows, dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, fill := BestBSRBlockSize(a)
+	if got != 4 || fill != 1 {
+		t.Errorf("BestBSRBlockSize = %d (fill %.2f), want 4 (1.00)", got, fill)
+	}
+	m, err := CSRToBSRAuto(a, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BlockSize != 4 {
+		t.Errorf("CSRToBSRAuto used block size %d", m.BlockSize)
+	}
+	// Empty matrix: first candidate, fill 0, no panic.
+	empty, err := NewCSR(8, 8, make([]int, 9), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, fill := BestBSRBlockSize(empty); fill != 0 || got != BSRBlockSizeCandidates[0] {
+		t.Errorf("empty: %d/%g", got, fill)
+	}
+}
+
+func TestBestBSRBlockSizePrefersSmallOnScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randCSR(t, rng, 300, 300, 0.01)
+	got, fill := BestBSRBlockSize(a)
+	if got != 2 {
+		t.Errorf("scatter matrix best block size %d (fill %.1f), want 2", got, fill)
+	}
+}

@@ -1,0 +1,18 @@
+package sparse
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS so the goroutine-parallel code paths execute
+// even on single-CPU machines (goroutines interleave and the race detector
+// still observes them); without this, every parallel kernel silently takes
+// its serial fallback and the concurrent logic goes untested.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}

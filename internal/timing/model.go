@@ -1,0 +1,295 @@
+package timing
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/features"
+	"repro/internal/sparse"
+)
+
+// ModelOracle is a deterministic analytic cost model. It exists for two
+// reasons: unit tests need reproducible costs, and the corpus-wide
+// experiment sweeps need to ask thousands of cost questions faster than
+// wall-clock measurement allows. The model is shaped after the real CPU
+// kernels in internal/sparse — contiguous formats pay per stored slot
+// (padding included), index-based formats additionally pay a gather penalty
+// that grows with intra-row column jumps, and conversions pay a large
+// per-element coefficient, landing in the paper's "9-270 SpMV calls"
+// regime.
+type ModelOracle struct {
+	// ElementOp is the nominal cost of one element operation in seconds.
+	ElementOp float64
+	// Noise adds deterministic multiplicative jitter of the given relative
+	// magnitude (0 disables), so trained predictors face realistic,
+	// imperfectly learnable targets.
+	Noise float64
+	// Lim bounds conversions exactly like the measured oracle.
+	Lim sparse.Limits
+
+	mu    sync.Mutex
+	stats map[*sparse.CSR]*modelStats
+}
+
+// NewModelOracle builds the model oracle used across tests and fast sweeps.
+func NewModelOracle() *ModelOracle {
+	return &ModelOracle{
+		ElementOp: 1e-9,
+		Noise:     0.03,
+		Lim:       sparse.DefaultLimits,
+		stats:     make(map[*sparse.CSR]*modelStats),
+	}
+}
+
+// Limits implements Oracle.
+func (o *ModelOracle) Limits() sparse.Limits { return o.Lim }
+
+// modelStats caches the structural quantities the cost formulas need.
+type modelStats struct {
+	rows, cols int
+	nnz        int
+	ndiags     int
+	maxRD      int
+	hybWidth   int
+	blocks     int // BSR blocks at Lim.BSRBlockSize
+	ntiles     int
+	sellSlots  int // padded slots of the SELL-C-sigma layout
+	sellSlices int
+	spread     float64 // mean intra-row column jump, the gather proxy
+	gather     float64 // gather penalty factor in [1, 3]
+}
+
+func (o *ModelOracle) statsOf(a *sparse.CSR) *modelStats {
+	o.mu.Lock()
+	s, hit := o.stats[a]
+	o.mu.Unlock()
+	if hit {
+		return s
+	}
+	rows, cols := a.Dims()
+	s = &modelStats{rows: rows, cols: cols, nnz: a.NNZ()}
+	s.ndiags = len(sparse.CSRDiagonals(a))
+	s.maxRD = a.MaxRowNNZ()
+	s.hybWidth = sparse.HYBWidth(a, o.Lim.HYBRowFraction)
+	s.blocks = features.CountBlocks(a, o.Lim.BSRBlockSize)
+	s.ntiles = s.nnz / sparse.CSR5Tile
+	s.sellSlots, s.sellSlices = sellGeometry(a)
+	var jumps float64
+	var njumps int
+	for i := 0; i < rows; i++ {
+		for k := a.Ptr[i] + 1; k < a.Ptr[i+1]; k++ {
+			jumps += float64(a.Col[k] - a.Col[k-1])
+			njumps++
+		}
+	}
+	if njumps > 0 {
+		s.spread = jumps / float64(njumps)
+	}
+	s.gather = 1 + 2*(1-math.Exp(-s.spread/512))
+	o.mu.Lock()
+	o.stats[a] = s
+	o.mu.Unlock()
+	return s
+}
+
+// sellGeometry computes the padded slot count and slice count of the
+// SELL-C-sigma layout without building it: row lengths are sorted
+// descending inside sigma windows and each C-slice pads to its max.
+func sellGeometry(a *sparse.CSR) (slots, slices int) {
+	rows, _ := a.Dims()
+	lens := make([]int, 0, sparse.SELLSigma)
+	for lo := 0; lo < rows; lo += sparse.SELLSigma {
+		hi := lo + sparse.SELLSigma
+		if hi > rows {
+			hi = rows
+		}
+		lens = lens[:0]
+		for i := lo; i < hi; i++ {
+			lens = append(lens, a.RowNNZ(i))
+		}
+		sortDesc(lens)
+		for slo := 0; slo < len(lens); slo += sparse.SELLC {
+			shi := slo + sparse.SELLC
+			if shi > len(lens) {
+				shi = len(lens)
+			}
+			slices++
+			slots += lens[slo] * (shi - slo) // lens sorted desc: first is max
+		}
+	}
+	return slots, slices
+}
+
+func sortDesc(x []int) {
+	// insertion sort: windows are at most SELLSigma elements
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i
+		for j > 0 && x[j-1] < v {
+			x[j] = x[j-1]
+			j--
+		}
+		x[j] = v
+	}
+}
+
+// jitter returns a deterministic multiplicative factor near 1 derived from
+// the (matrix, format, kind) triple, so repeated queries agree but different
+// matrices see different "measurement" noise.
+func (o *ModelOracle) jitter(s *modelStats, f sparse.Format, kind uint64) float64 {
+	if o.Noise <= 0 {
+		return 1
+	}
+	h := uint64(s.nnz)*0x9E3779B97F4A7C15 ^ uint64(s.rows)*0xBF58476D1CE4E5B9 ^
+		uint64(f+1)*0x94D049BB133111EB ^ kind*0xD6E8FEB86659FD93
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	// Map to [-1, 1].
+	u := float64(h%(1<<20))/float64(1<<19) - 1
+	return 1 + o.Noise*u
+}
+
+// spmvOps returns the element-op count of one SpMV in format f, or ok=false
+// when the format is invalid for this matrix under the limits.
+//
+// Calibration notes. Index-based formats (CSR, COO, ELL, HYB) pay the
+// gather penalty on the x accesses; DIA is the one contiguous,
+// gather-free format; BSR amortizes index loads across whole blocks; and
+// CSR5 gets a reduced gather penalty plus a per-tile overhead — this
+// emulates the GPU situation the paper evaluates, where CSR5/BSR are the
+// generically fastest formats (the paper's Table IV: OO picks BSR for 943
+// and CSR5 for 582 of 1911 matrices) while their conversions are the most
+// expensive (up to the "270 SpMV calls" end of Table III).
+func (o *ModelOracle) spmvOps(s *modelStats, f sparse.Format) (float64, bool) {
+	nnz := float64(s.nnz)
+	rows := float64(s.rows)
+	switch f {
+	case sparse.FmtCSR:
+		return nnz*2.0*s.gather + rows*1.0, true
+	case sparse.FmtCOO:
+		return nnz*2.6*s.gather + rows*0.5, true
+	case sparse.FmtDIA:
+		padded := float64(s.ndiags) * rows
+		if s.nnz > 0 && padded > o.Lim.DIAFill*nnz {
+			return 0, false
+		}
+		return padded*0.85 + rows*0.5, true
+	case sparse.FmtELL:
+		padded := rows * float64(s.maxRD)
+		if s.nnz > 0 && padded > o.Lim.ELLFill*nnz {
+			return 0, false
+		}
+		return padded*1.0*s.gather + rows*0.5, true
+	case sparse.FmtHYB:
+		ell := rows * float64(s.hybWidth) * 1.0 * s.gather
+		over := nnz - rows*float64(s.hybWidth)
+		if over < 0 {
+			over = 0
+		}
+		return ell + over*2.6*s.gather + rows*0.5, true
+	case sparse.FmtBSR:
+		bs := float64(o.Lim.BSRBlockSize)
+		padded := float64(s.blocks) * bs * bs
+		if s.nnz > 0 && padded > o.Lim.BSRFill*nnz {
+			return 0, false
+		}
+		return padded*0.95 + float64(s.blocks)*2 + rows*1.0, true
+	case sparse.FmtCSR5:
+		// Tiling shrinks the gather penalty (load-balanced, locality-
+		// tiled) at the price of per-tile segmented-sum overhead. The low
+		// per-element coefficient makes CSR5 the generic per-call winner —
+		// as on the paper's GPU — while its conversion (below) is among
+		// the most expensive, which is exactly the trap overhead-oblivious
+		// selection falls into.
+		g := 1 + 0.3*(s.gather-1)
+		return nnz*0.8*g + float64(s.ntiles)*4 + rows*0.5, true
+	case sparse.FmtSELL:
+		// Regular slice-local layout: a lower per-slot coefficient than
+		// ELL, padding bounded by the sigma sorting.
+		return float64(s.sellSlots)*1.1*s.gather + float64(s.sellSlices)*2 + rows*0.5, true
+	case sparse.FmtCSC:
+		// Column-major scatter: every nonzero writes y non-contiguously, so
+		// the gather penalty applies to the STORE side and the kernel loses
+		// to CSR almost everywhere.
+		return nnz*3.0*s.gather + float64(s.cols)*0.5, true
+	default:
+		return 0, false
+	}
+}
+
+// convertOps returns the element-op count of the CSR -> f conversion. The
+// coefficients land the normalized costs in the paper's Table III regime
+// (the equivalent of roughly 9-270 SpMV calls): DIA/ELL/HYB/COO are
+// cheap-to-moderate rearrangements, BSR pays block discovery and per-block
+// scatter, CSR5 pays the tile transposition and flag construction.
+func (o *ModelOracle) convertOps(s *modelStats, f sparse.Format) (float64, bool) {
+	nnz := float64(s.nnz)
+	rows := float64(s.rows)
+	switch f {
+	case sparse.FmtCSR:
+		return 0, true
+	case sparse.FmtCOO:
+		return nnz*8 + rows*2, true
+	case sparse.FmtDIA:
+		padded := float64(s.ndiags) * rows
+		if s.nnz > 0 && padded > o.Lim.DIAFill*nnz {
+			return 0, false
+		}
+		return nnz*20 + padded*4 + 2000, true
+	case sparse.FmtELL:
+		padded := rows * float64(s.maxRD)
+		if s.nnz > 0 && padded > o.Lim.ELLFill*nnz {
+			return 0, false
+		}
+		return nnz*12 + padded*3 + 2000, true
+	case sparse.FmtHYB:
+		return nnz*20 + rows*float64(s.hybWidth)*3 + rows*4 + 2000, true
+	case sparse.FmtBSR:
+		bs := float64(o.Lim.BSRBlockSize)
+		padded := float64(s.blocks) * bs * bs
+		if s.nnz > 0 && padded > o.Lim.BSRFill*nnz {
+			return 0, false
+		}
+		return nnz*120 + padded*6 + 2000, true
+	case sparse.FmtCSR5:
+		return nnz*100 + float64(s.ntiles)*40 + 2000, true
+	case sparse.FmtSELL:
+		// Window sorting plus the padded scatter.
+		return nnz*15 + float64(s.sellSlots)*3 + rows*2 + 2000, true
+	case sparse.FmtCSC:
+		// A structural transpose: counting pass plus scatter.
+		return nnz*8 + float64(s.cols)*2 + 2000, true
+	default:
+		return 0, false
+	}
+}
+
+// SpMVTime implements Oracle.
+func (o *ModelOracle) SpMVTime(a *sparse.CSR, f sparse.Format) (float64, bool) {
+	s := o.statsOf(a)
+	ops, ok := o.spmvOps(s, f)
+	if !ok {
+		return 0, false
+	}
+	return ops * o.ElementOp * o.jitter(s, f, 1), true
+}
+
+// ConvertTime implements Oracle.
+func (o *ModelOracle) ConvertTime(a *sparse.CSR, f sparse.Format) (float64, bool) {
+	s := o.statsOf(a)
+	ops, ok := o.convertOps(s, f)
+	if !ok {
+		return 0, false
+	}
+	return ops * o.ElementOp * o.jitter(s, f, 2), true
+}
+
+// FeatureTime implements Oracle. Feature extraction makes several passes
+// over the CSR arrays plus a log-factor neighbor search, landing in the
+// paper's observed "2x-4x of a SpMV call" band.
+func (o *ModelOracle) FeatureTime(a *sparse.CSR) float64 {
+	s := o.statsOf(a)
+	ops := float64(s.nnz)*6 + float64(s.rows)*2 + float64(s.cols)
+	return ops * o.ElementOp * o.jitter(s, sparse.FmtCSR, 3)
+}

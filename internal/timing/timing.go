@@ -1,0 +1,219 @@
+// Package timing provides the two cost oracles behind every experiment: a
+// MeasuredOracle that wall-clock-times the real kernels and conversions, and
+// a deterministic ModelOracle with an analytic cost model. Both answer the
+// same three questions the selector's training pipeline asks — how long is
+// one SpMV in format f, how long is the CSR->f conversion, and how long is
+// feature extraction — so experiments can swap honesty for reproducibility
+// with one constructor change (see DESIGN.md's substitution table).
+package timing
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/sparse"
+)
+
+// Oracle answers per-matrix cost questions in seconds. Implementations must
+// be safe for concurrent use. ok is false when the matrix cannot be
+// represented in the format under the oracle's limits.
+type Oracle interface {
+	// SpMVTime is the time of one y = A*x in format f.
+	SpMVTime(a *sparse.CSR, f sparse.Format) (seconds float64, ok bool)
+	// ConvertTime is the time to convert a from CSR into format f.
+	ConvertTime(a *sparse.CSR, f sparse.Format) (seconds float64, ok bool)
+	// FeatureTime is the time to extract the Table I feature set.
+	FeatureTime(a *sparse.CSR) float64
+	// Limits reports the conversion limits the oracle enforces.
+	Limits() sparse.Limits
+}
+
+// MeasureOptions controls wall-clock measurement.
+type MeasureOptions struct {
+	// Reps is the number of repetitions per measurement; the median is
+	// reported. Minimum 1.
+	Reps int
+	// Parallel selects the goroutine-parallel kernels (the configuration
+	// applications actually run) instead of the serial ones.
+	Parallel bool
+	// Lim bounds format conversions.
+	Lim sparse.Limits
+}
+
+// DefaultMeasureOptions: 5 reps, parallel kernels, default limits.
+func DefaultMeasureOptions() MeasureOptions {
+	return MeasureOptions{Reps: 5, Parallel: true, Lim: sparse.DefaultLimits}
+}
+
+// MeasuredOracle times the real kernels. Results are cached per (matrix,
+// format), so asking twice is free; the cache is keyed by pointer identity,
+// matching the immutability convention of sparse matrices.
+type MeasuredOracle struct {
+	opt MeasureOptions
+
+	mu       sync.Mutex
+	spmv     map[cacheKey]timedResult
+	conv     map[cacheKey]timedResult
+	feat     map[*sparse.CSR]float64
+	converts map[cacheKey]sparse.Matrix
+}
+
+type cacheKey struct {
+	m *sparse.CSR
+	f sparse.Format
+}
+
+type timedResult struct {
+	seconds float64
+	ok      bool
+}
+
+// NewMeasuredOracle builds a measuring oracle.
+func NewMeasuredOracle(opt MeasureOptions) *MeasuredOracle {
+	if opt.Reps < 1 {
+		opt.Reps = 1
+	}
+	return &MeasuredOracle{
+		opt:      opt,
+		spmv:     make(map[cacheKey]timedResult),
+		conv:     make(map[cacheKey]timedResult),
+		feat:     make(map[*sparse.CSR]float64),
+		converts: make(map[cacheKey]sparse.Matrix),
+	}
+}
+
+// Limits implements Oracle.
+func (o *MeasuredOracle) Limits() sparse.Limits { return o.opt.Lim }
+
+// Median of reps timings of fn, in seconds.
+func medianTime(reps int, fn func()) float64 {
+	times := make([]float64, reps)
+	for i := range times {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start).Seconds()
+	}
+	sort.Float64s(times)
+	return times[reps/2]
+}
+
+// converted returns (and caches) the matrix in format f.
+func (o *MeasuredOracle) converted(a *sparse.CSR, f sparse.Format) (sparse.Matrix, bool) {
+	key := cacheKey{a, f}
+	o.mu.Lock()
+	m, hit := o.converts[key]
+	o.mu.Unlock()
+	if hit {
+		return m, m != nil
+	}
+	// Measure the conversion while we are at it: first touch of a
+	// (matrix, format) pair pays one timed conversion.
+	o.measureConvert(a, f)
+	o.mu.Lock()
+	m = o.converts[key]
+	o.mu.Unlock()
+	return m, m != nil
+}
+
+func (o *MeasuredOracle) measureConvert(a *sparse.CSR, f sparse.Format) timedResult {
+	key := cacheKey{a, f}
+	o.mu.Lock()
+	if r, hit := o.conv[key]; hit {
+		o.mu.Unlock()
+		return r
+	}
+	o.mu.Unlock()
+
+	if !sparse.CanConvert(a, f, o.opt.Lim) {
+		r := timedResult{ok: false}
+		o.mu.Lock()
+		o.conv[key] = r
+		o.converts[key] = nil
+		o.mu.Unlock()
+		return r
+	}
+	var last sparse.Matrix
+	secs := medianTime(o.opt.Reps, func() {
+		m, err := sparse.ConvertFromCSR(a, f, o.opt.Lim)
+		if err != nil {
+			last = nil
+			return
+		}
+		last = m
+	})
+	r := timedResult{seconds: secs, ok: last != nil}
+	o.mu.Lock()
+	o.conv[key] = r
+	o.converts[key] = last
+	o.mu.Unlock()
+	return r
+}
+
+// ConvertTime implements Oracle.
+func (o *MeasuredOracle) ConvertTime(a *sparse.CSR, f sparse.Format) (float64, bool) {
+	if f == sparse.FmtCSR {
+		return 0, true
+	}
+	r := o.measureConvert(a, f)
+	return r.seconds, r.ok
+}
+
+// SpMVTime implements Oracle.
+func (o *MeasuredOracle) SpMVTime(a *sparse.CSR, f sparse.Format) (float64, bool) {
+	key := cacheKey{a, f}
+	o.mu.Lock()
+	if r, hit := o.spmv[key]; hit {
+		o.mu.Unlock()
+		return r.seconds, r.ok
+	}
+	o.mu.Unlock()
+
+	m, ok := o.converted(a, f)
+	if !ok {
+		o.mu.Lock()
+		o.spmv[key] = timedResult{ok: false}
+		o.mu.Unlock()
+		return 0, false
+	}
+	rows, cols := m.Dims()
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = 1.0 / float64(cols+1)
+	}
+	y := make([]float64, rows)
+	// Warm-up run outside the timed region.
+	if o.opt.Parallel {
+		m.SpMVParallel(y, x)
+	} else {
+		m.SpMV(y, x)
+	}
+	secs := medianTime(o.opt.Reps, func() {
+		if o.opt.Parallel {
+			m.SpMVParallel(y, x)
+		} else {
+			m.SpMV(y, x)
+		}
+	})
+	r := timedResult{seconds: secs, ok: true}
+	o.mu.Lock()
+	o.spmv[key] = r
+	o.mu.Unlock()
+	return r.seconds, true
+}
+
+// FeatureTime implements Oracle.
+func (o *MeasuredOracle) FeatureTime(a *sparse.CSR) float64 {
+	o.mu.Lock()
+	if s, hit := o.feat[a]; hit {
+		o.mu.Unlock()
+		return s
+	}
+	o.mu.Unlock()
+	secs := medianTime(o.opt.Reps, func() { features.Extract(a) })
+	o.mu.Lock()
+	o.feat[a] = secs
+	o.mu.Unlock()
+	return secs
+}

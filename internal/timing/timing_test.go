@@ -1,0 +1,186 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+func genMatrix(t testing.TB, fam matgen.Family, size int, seed int64) *sparse.CSR {
+	t.Helper()
+	m, err := matgen.Generate(matgen.Spec{Name: "t", Family: fam, Size: size, Degree: 8, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelOracleDeterministic(t *testing.T) {
+	m := genMatrix(t, matgen.FamRandom, 500, 1)
+	o1 := NewModelOracle()
+	o2 := NewModelOracle()
+	for _, f := range sparse.AllFormats {
+		t1, ok1 := o1.SpMVTime(m, f)
+		t2, ok2 := o2.SpMVTime(m, f)
+		if ok1 != ok2 || t1 != t2 {
+			t.Errorf("%v: SpMVTime not deterministic: %g/%v vs %g/%v", f, t1, ok1, t2, ok2)
+		}
+		c1, okc1 := o1.ConvertTime(m, f)
+		c2, okc2 := o2.ConvertTime(m, f)
+		if okc1 != okc2 || c1 != c2 {
+			t.Errorf("%v: ConvertTime not deterministic", f)
+		}
+	}
+	if o1.FeatureTime(m) != o2.FeatureTime(m) {
+		t.Error("FeatureTime not deterministic")
+	}
+}
+
+func TestModelOracleShape(t *testing.T) {
+	o := NewModelOracle()
+	o.Noise = 0
+
+	// Banded matrix: DIA must beat CSR per call.
+	banded := genMatrix(t, matgen.FamBanded, 3000, 2)
+	csrT, ok := o.SpMVTime(banded, sparse.FmtCSR)
+	if !ok {
+		t.Fatal("CSR time unavailable")
+	}
+	diaT, ok := o.SpMVTime(banded, sparse.FmtDIA)
+	if !ok {
+		t.Fatal("DIA rejected a banded matrix")
+	}
+	if diaT >= csrT {
+		t.Errorf("DIA %g >= CSR %g on banded matrix", diaT, csrT)
+	}
+
+	// Scatter matrix: DIA must be invalid, CSR valid.
+	scatter := genMatrix(t, matgen.FamRandom, 3000, 3)
+	if _, ok := o.SpMVTime(scatter, sparse.FmtDIA); ok {
+		t.Error("DIA accepted a scatter matrix under default limits")
+	}
+
+	// Block matrix: BSR must beat CSR.
+	block := genMatrix(t, matgen.FamBlock, 2048, 4)
+	bsrT, ok := o.SpMVTime(block, sparse.FmtBSR)
+	if !ok {
+		t.Fatal("BSR rejected a block matrix")
+	}
+	csrB, _ := o.SpMVTime(block, sparse.FmtCSR)
+	if bsrT >= csrB {
+		t.Errorf("BSR %g >= CSR %g on block matrix", bsrT, csrB)
+	}
+
+	// COO is never the fastest.
+	cooT, _ := o.SpMVTime(scatter, sparse.FmtCOO)
+	csrS, _ := o.SpMVTime(scatter, sparse.FmtCSR)
+	if cooT <= csrS {
+		t.Errorf("COO %g <= CSR %g", cooT, csrS)
+	}
+}
+
+func TestModelOracleConversionCostRegime(t *testing.T) {
+	// The paper's Table III: conversion costs the equivalent of 9-270 SpMV
+	// calls. Check the model lands in that decade range for typical
+	// matrices (allowing some slack at both ends).
+	o := NewModelOracle()
+	o.Noise = 0
+	for _, fam := range []matgen.Family{matgen.FamRandom, matgen.FamBanded, matgen.FamUniformRows, matgen.FamBlock} {
+		m := genMatrix(t, fam, 5000, int64(fam))
+		csrT, _ := o.SpMVTime(m, sparse.FmtCSR)
+		for _, f := range sparse.AllFormats {
+			if f == sparse.FmtCSR {
+				continue
+			}
+			conv, ok := o.ConvertTime(m, f)
+			if !ok {
+				continue
+			}
+			ratio := conv / csrT
+			if ratio < 1 || ratio > 500 {
+				t.Errorf("%v/%v: conversion = %.1f SpMV calls, outside [1, 500]", fam, f, ratio)
+			}
+		}
+	}
+}
+
+func TestModelOracleFeatureTimeBand(t *testing.T) {
+	// Paper: feature extraction costs 2x-4x of a SpMV call. Allow 1-10x.
+	o := NewModelOracle()
+	o.Noise = 0
+	m := genMatrix(t, matgen.FamRandom, 4000, 5)
+	csrT, _ := o.SpMVTime(m, sparse.FmtCSR)
+	ratio := o.FeatureTime(m) / csrT
+	if ratio < 1 || ratio > 10 {
+		t.Errorf("feature extraction = %.1f SpMV calls, outside [1, 10]", ratio)
+	}
+}
+
+func TestMeasuredOracleBasics(t *testing.T) {
+	opt := DefaultMeasureOptions()
+	opt.Reps = 3
+	opt.Parallel = false
+	o := NewMeasuredOracle(opt)
+	m := genMatrix(t, matgen.FamStencil2D, 2500, 6)
+
+	csrT, ok := o.SpMVTime(m, sparse.FmtCSR)
+	if !ok || csrT <= 0 {
+		t.Fatalf("CSR SpMV time %g, ok=%v", csrT, ok)
+	}
+	if zero, ok := o.ConvertTime(m, sparse.FmtCSR); !ok || zero != 0 {
+		t.Errorf("CSR->CSR conversion = %g, ok=%v", zero, ok)
+	}
+	diaConv, ok := o.ConvertTime(m, sparse.FmtDIA)
+	if !ok || diaConv <= 0 {
+		t.Fatalf("stencil rejected by DIA: %v", ok)
+	}
+	if diaConv < csrT {
+		t.Errorf("conversion (%g) cheaper than one SpMV (%g): implausible", diaConv, csrT)
+	}
+	if ft := o.FeatureTime(m); ft <= 0 {
+		t.Errorf("feature time %g", ft)
+	}
+	// Cache: identical answer on re-query.
+	again, _ := o.SpMVTime(m, sparse.FmtCSR)
+	if again != csrT {
+		t.Errorf("cache miss: %g vs %g", again, csrT)
+	}
+}
+
+func TestMeasuredOracleRespectsLimits(t *testing.T) {
+	o := NewMeasuredOracle(DefaultMeasureOptions())
+	scatter := genMatrix(t, matgen.FamRandom, 2000, 7)
+	if _, ok := o.ConvertTime(scatter, sparse.FmtDIA); ok {
+		t.Error("measured oracle converted a scatter matrix to DIA")
+	}
+	if _, ok := o.SpMVTime(scatter, sparse.FmtDIA); ok {
+		t.Error("measured oracle timed DIA SpMV on an invalid matrix")
+	}
+}
+
+func TestQuickModelOracleFiniteAndPositive(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(8))}
+	o := NewModelOracle()
+	prop := func(seed int64, famRaw uint8) bool {
+		fam := matgen.AllFamilies[int(famRaw)%len(matgen.AllFamilies)]
+		m, err := matgen.Generate(matgen.Spec{Name: "q", Family: fam, Size: 400, Degree: 6, Seed: seed})
+		if err != nil {
+			return false
+		}
+		for _, f := range sparse.AllFormats {
+			if tm, ok := o.SpMVTime(m, f); ok && tm <= 0 {
+				return false
+			}
+			if cv, ok := o.ConvertTime(m, f); ok && cv < 0 {
+				return false
+			}
+		}
+		return o.FeatureTime(m) > 0
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package trainer
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/gbt"
+	"repro/internal/timing"
+)
+
+func trainedBundle(t *testing.T) *core.Predictors {
+	t.Helper()
+	entries := corpus(t, 32)
+	samples, err := Collect(entries, timing.NewModelOracle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := gbt.DefaultParams()
+	p.NumRounds = 20
+	preds, err := Train(samples, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return preds
+}
+
+func TestSaveLoadBundleRoundTrip(t *testing.T) {
+	preds := trainedBundle(t)
+	dir := t.TempDir()
+	man := Manifest{
+		NumFeatures: features.NumFeatures,
+		CorpusSeed:  7,
+		CorpusCount: 32,
+		Oracle:      "model",
+	}
+	if err := SaveBundle(dir, preds, man); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotMan, err := LoadBundle(dir, features.NumFeatures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMan.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version %d", gotMan.SchemaVersion)
+	}
+	if gotMan.CreatedAt == "" {
+		t.Error("CreatedAt not stamped")
+	}
+	if len(loaded.ConvTime) != len(preds.ConvTime) {
+		t.Errorf("loaded %d formats, want %d", len(loaded.ConvTime), len(preds.ConvTime))
+	}
+	x := make([]float64, features.NumFeatures)
+	for i := range x {
+		x[i] = float64(i) * 1.5
+	}
+	for f, m := range preds.SpMVTime {
+		if got, want := loaded.SpMVTime[f].Predict(x), m.Predict(x); got != want {
+			t.Errorf("%v: %g vs %g after round trip", f, got, want)
+		}
+	}
+}
+
+func TestLoadBundleRejectsSchemaMismatch(t *testing.T) {
+	preds := trainedBundle(t)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, preds, Manifest{NumFeatures: features.NumFeatures}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the schema version.
+	path := filepath.Join(dir, manifestName)
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(blob), `"schema_version": 1`, `"schema_version": 999`, 1)
+	if mutated == string(blob) {
+		t.Fatal("test could not mutate schema version")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBundle(dir, features.NumFeatures); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestLoadBundleRejectsFeatureCountMismatch(t *testing.T) {
+	preds := trainedBundle(t)
+	dir := t.TempDir()
+	if err := SaveBundle(dir, preds, Manifest{NumFeatures: features.NumFeatures}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadBundle(dir, features.NumFeatures+1); err == nil {
+		t.Error("feature-count mismatch accepted")
+	}
+}
+
+func TestLoadBundleMissingDir(t *testing.T) {
+	if _, _, err := LoadBundle(t.TempDir(), features.NumFeatures); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

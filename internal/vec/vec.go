@@ -1,0 +1,193 @@
+// Package vec implements the dense-vector kernels the iterative solvers
+// need: dot products, axpy, 2-norms, scaling and copies, with parallel
+// variants for long vectors. Keeping these in one tiny package lets the
+// solver code in internal/apps read like the textbook algorithms.
+package vec
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// Dot returns the inner product <x, y>. Panics if lengths differ.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch in Dot")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// DotParallel is Dot computed with multiple goroutines for long vectors.
+// Partial sums are combined in worker order so the result is deterministic
+// for a fixed GOMAXPROCS.
+func DotParallel(x, y []float64) float64 {
+	n := len(x)
+	if n != len(y) {
+		panic("vec: dimension mismatch in DotParallel")
+	}
+	p := parallel.Workers()
+	if p <= 1 || n < parallel.MinParallelWork {
+		return Dot(x, y)
+	}
+	if p > n {
+		p = n
+	}
+	partial := make([]float64, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	chunk := (n + p - 1) / p
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += x[i] * y[i]
+			}
+			partial[w] = s
+		}(w)
+	}
+	wg.Wait()
+	var s float64
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch in Axpy")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// AxpyParallel is Axpy with goroutine-parallel chunks.
+func AxpyParallel(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("vec: dimension mismatch in AxpyParallel")
+	}
+	parallel.For(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	})
+}
+
+// Scale computes x *= a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x, guarding against overflow the same
+// way LAPACK's dnrm2 does (scaling by the running max magnitude).
+func Nrm2(x []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range x {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	if scale == 0 {
+		return 0
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Nrm1 returns the 1-norm (sum of absolute values) of x.
+func Nrm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NrmInf returns the max-norm of x.
+func NrmInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Copy copies src into dst. Panics if lengths differ.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("vec: dimension mismatch in Copy")
+	}
+	copy(dst, src)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("vec: dimension mismatch in Sub")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Add computes dst = a + b elementwise.
+func Add(dst, a, b []float64) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("vec: dimension mismatch in Add")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Waxpby computes w = a*x + b*y elementwise, the fused update BiCGSTAB and
+// CG variants use.
+func Waxpby(w []float64, a float64, x []float64, b float64, y []float64) {
+	if len(w) != len(x) || len(x) != len(y) {
+		panic("vec: dimension mismatch in Waxpby")
+	}
+	for i := range w {
+		w[i] = a*x[i] + b*y[i]
+	}
+}

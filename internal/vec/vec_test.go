@@ -1,0 +1,163 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Errorf("Dot(nil,nil) = %g", got)
+	}
+}
+
+func TestDotParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 100, 5000, 100000} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		s := Dot(x, y)
+		p := DotParallel(x, y)
+		if math.Abs(s-p) > 1e-9*(1+math.Abs(s)) {
+			t.Errorf("n=%d: serial %g, parallel %g", n, s, p)
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+}
+
+func TestAxpyParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	x := make([]float64, n)
+	y1 := make([]float64, n)
+	y2 := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y1[i] = rng.NormFloat64()
+		y2[i] = y1[i]
+	}
+	Axpy(0.7, x, y1)
+	AxpyParallel(0.7, x, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("y[%d]: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestNrm2(t *testing.T) {
+	if got := Nrm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Errorf("Nrm2 = %g, want 5", got)
+	}
+	if got := Nrm2(nil); got != 0 {
+		t.Errorf("Nrm2(nil) = %g", got)
+	}
+	// Overflow guard: naive sum of squares would overflow here.
+	big := []float64{1e200, 1e200}
+	if got := Nrm2(big); math.IsInf(got, 0) || math.Abs(got-1e200*math.Sqrt2) > 1e186 {
+		t.Errorf("Nrm2 overflow guard failed: %g", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{-1, 2, -3}
+	if got := Nrm1(x); got != 6 {
+		t.Errorf("Nrm1 = %g, want 6", got)
+	}
+	if got := NrmInf(x); got != 3 {
+		t.Errorf("NrmInf = %g, want 3", got)
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	dst := make([]float64, 3)
+	Sub(dst, a, b)
+	if dst[0] != -3 || dst[2] != -3 {
+		t.Errorf("Sub = %v", dst)
+	}
+	Add(dst, a, b)
+	if dst[0] != 5 || dst[2] != 9 {
+		t.Errorf("Add = %v", dst)
+	}
+	Waxpby(dst, 2, a, -1, b)
+	if dst[0] != -2 || dst[2] != 0 {
+		t.Errorf("Waxpby = %v", dst)
+	}
+	Fill(dst, 7)
+	if dst[1] != 7 {
+		t.Errorf("Fill = %v", dst)
+	}
+	Zero(dst)
+	if dst[1] != 0 {
+		t.Errorf("Zero = %v", dst)
+	}
+	Scale(3, a)
+	if a[1] != 6 {
+		t.Errorf("Scale = %v", a)
+	}
+	c := make([]float64, 3)
+	Copy(c, b)
+	if c[2] != 6 {
+		t.Errorf("Copy = %v", c)
+	}
+}
+
+func TestDimensionPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Dot", func() { Dot([]float64{1}, []float64{1, 2}) })
+	mustPanic("Axpy", func() { Axpy(1, []float64{1}, []float64{1, 2}) })
+	mustPanic("Copy", func() { Copy([]float64{1}, []float64{1, 2}) })
+	mustPanic("Sub", func() { Sub([]float64{1}, []float64{1}, []float64{1, 2}) })
+	mustPanic("Add", func() { Add([]float64{1, 2}, []float64{1}, []float64{1}) })
+	mustPanic("Waxpby", func() { Waxpby([]float64{1}, 1, []float64{1, 2}, 1, []float64{1, 2}) })
+}
+
+func TestQuickNrm2NonNegativeAndScales(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 100
+		}
+		n2 := Nrm2(x)
+		if n2 < 0 {
+			return false
+		}
+		// Triangle-consistency with the max norm: ||x||_inf <= ||x||_2 <= sqrt(n)*||x||_inf.
+		ninf := NrmInf(x)
+		return n2 >= ninf-1e-9 && n2 <= math.Sqrt(float64(n))*ninf+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
