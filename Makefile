@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race vet bench serve clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/server/... ./internal/core/... ./internal/parallel/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+serve:
+	$(GO) run ./cmd/ocsd -train
+
+clean:
+	$(GO) clean ./...

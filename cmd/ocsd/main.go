@@ -1,0 +1,123 @@
+// Command ocsd is the overhead-conscious SpMV daemon: a long-running HTTP
+// service that owns a registry of sparse matrices and runs the two-stage
+// format selector per matrix handle, so conversion costs amortize across
+// every request a handle serves (see internal/server).
+//
+// Endpoints:
+//
+//	POST   /v1/matrices           register a matrix (.mtx text or generator spec)
+//	GET    /v1/matrices           list handles
+//	GET    /v1/matrices/{id}      stats: format, selector decisions, overhead seconds
+//	POST   /v1/matrices/{id}/spmv batched y = A*x
+//	POST   /v1/matrices/{id}/solve CG/PCG/BiCGSTAB/GMRES/Jacobi/power/PageRank
+//	DELETE /v1/matrices/{id}      unregister
+//	GET    /healthz               liveness (503 while draining)
+//	GET    /metrics               JSON counters
+//
+// Run with trained predictors for real format selection:
+//
+//	ocsd -models models           # saved by `ocsel train -out models`
+//	ocsd -train                   # train at startup (tens of seconds)
+//
+// Without predictors only stage 1 (tripcount prediction) runs and matrices
+// never convert — useful for functional testing.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/server"
+
+	ocs "repro"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		modelsDir    = flag.String("models", "", "directory of trained predictors (see ocsel train)")
+		train        = flag.Bool("train", false, "train default predictors at startup")
+		seed         = flag.Int64("seed", 42, "training corpus seed (with -train)")
+		maxNNZ       = flag.Int64("max-nnz", 50_000_000, "registry capacity in total stored nonzeros")
+		workers      = flag.Int("workers", parallel.Workers(), "max concurrent SpMV/solve jobs")
+		queue        = flag.Int("queue", 0, "admission queue depth (0 = 4x workers, negative = none)")
+		solveTimeout = flag.Duration("timeout", 60*time.Second, "default solve timeout")
+		drainWait    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		serial       = flag.Bool("serial", false, "use serial SpMV kernels (pool provides the parallelism)")
+	)
+	flag.Parse()
+
+	var preds *core.Predictors
+	switch {
+	case *modelsDir != "" && *train:
+		log.Fatal("ocsd: -models and -train are mutually exclusive")
+	case *modelsDir != "":
+		p, err := ocs.LoadPredictors(*modelsDir)
+		if err != nil {
+			log.Fatalf("ocsd: loading predictors: %v", err)
+		}
+		preds = p
+		log.Printf("loaded predictors from %s", *modelsDir)
+	case *train:
+		log.Printf("training default predictors (seed %d), this takes tens of seconds...", *seed)
+		p, err := ocs.TrainDefaultPredictors(*seed)
+		if err != nil {
+			log.Fatalf("ocsd: training predictors: %v", err)
+		}
+		preds = p
+		if err := preds.Validate(); err != nil {
+			log.Printf("warning: %v", err)
+		}
+		log.Printf("training done")
+	default:
+		log.Printf("no predictors (-models/-train): stage 2 disabled, matrices stay on CSR")
+	}
+	srv := server.New(server.Config{
+		MaxRegistryNNZ:      *maxNNZ,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		DefaultSolveTimeout: *solveTimeout,
+		Preds:               preds,
+		SerialKernels:       *serial,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("ocsd listening on %s (%d workers, registry %d nnz)", *addr, *workers, *maxNNZ)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("ocsd: %v", err)
+	case sig := <-sigCh:
+		log.Printf("received %v, draining in-flight work (budget %v)...", sig, *drainWait)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	fmt.Println("ocsd stopped")
+}

@@ -7,6 +7,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sparse"
@@ -55,6 +56,15 @@ func (s serOp) Dims() (r, c int)    { return s.m.Dims() }
 
 // Ser adapts a sparse matrix into a serial-kernel Operator.
 func Ser(m sparse.Matrix) Operator { return serOp{m} }
+
+// canceled reports the context's error, tolerating a nil context so the
+// pre-existing call sites (which never set SolveOptions.Ctx) keep working.
+func canceled(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // squareDims validates the operator is square and returns n.
 func squareDims(op Operator) (int, error) {

@@ -43,6 +43,10 @@ func BiCGSTAB(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, er
 		}
 	}
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := canceled(opt.Ctx); err != nil {
+			res.X = x
+			return res, fmt.Errorf("apps: BiCGSTAB canceled at iteration %d: %w", iter, err)
+		}
 		rhoNew := vec.Dot(rhat, r)
 		if math.Abs(rhoNew) < 1e-300 {
 			record(iter, vec.Nrm2(r))

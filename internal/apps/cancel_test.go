@@ -1,0 +1,109 @@
+package apps_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/matgen"
+)
+
+// TestSolversHonorCanceledContext runs every solver with an already-canceled
+// context: each must return promptly with an error wrapping context.Canceled
+// and without executing a single iteration.
+func TestSolversHonorCanceledContext(t *testing.T) {
+	m, err := matgen.Stencil2D(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := m.Dims()
+	b := make([]float64, n)
+	diag := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+		diag[i] = m.At(i, i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := apps.DefaultSolveOptions()
+	opt.Ctx = ctx
+	op := apps.Ser(m)
+
+	pre, err := apps.NewJacobiPreconditioner(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := map[string]func() (apps.Result, error){
+		"cg":       func() (apps.Result, error) { return apps.CG(op, b, opt, nil) },
+		"pcg":      func() (apps.Result, error) { return apps.PCG(op, pre, b, opt, nil) },
+		"bicgstab": func() (apps.Result, error) { return apps.BiCGSTAB(op, b, opt, nil) },
+		"gmres":    func() (apps.Result, error) { return apps.GMRES(op, b, opt, nil) },
+		"jacobi":   func() (apps.Result, error) { return apps.Jacobi(op, diag, b, 0.8, opt, nil) },
+		"power": func() (apps.Result, error) {
+			r, err := apps.PowerMethod(op, opt, nil)
+			return r.Result, err
+		},
+	}
+	for name, run := range runs {
+		res, err := run()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v does not wrap context.Canceled", name, err)
+		}
+		if res.Iterations != 0 {
+			t.Errorf("%s: executed %d iterations under a canceled context", name, res.Iterations)
+		}
+	}
+
+	// PageRank takes different arguments; exercise it separately.
+	adj, err := matgen.PowerLaw(200, 200, 4, 2.1, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, dangling, err := apps.BuildTransition(adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	propt := apps.DefaultPageRankOptions()
+	propt.Ctx = ctx
+	res, err := apps.PageRank(apps.Ser(p), dangling, propt, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("pagerank: error %v does not wrap context.Canceled", err)
+	}
+	if res.Iterations != 0 {
+		t.Errorf("pagerank: executed %d iterations under a canceled context", res.Iterations)
+	}
+}
+
+// TestCancelMidSolve cancels from inside the progress hook and checks the
+// solver stops within one iteration, returning the partial iterate.
+func TestCancelMidSolve(t *testing.T) {
+	m, err := matgen.Stencil2D(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := m.Dims()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := apps.DefaultSolveOptions()
+	opt.Tol = 1e-12 // long loop; cancellation is what stops it
+	opt.Ctx = ctx
+	res, err := apps.CG(apps.Ser(m), b, opt, func(it int, _ float64) {
+		if it == 5 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if res.Iterations != 5 {
+		t.Errorf("stopped after %d iterations, want 5", res.Iterations)
+	}
+	if res.X == nil {
+		t.Error("partial iterate missing after cancellation")
+	}
+}

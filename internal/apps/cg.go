@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,6 +17,11 @@ type SolveOptions struct {
 	MaxIters int
 	// Restart is the GMRES restart length (ignored by CG/BiCGSTAB).
 	Restart int
+	// Ctx optionally carries a cancellation context. Solvers check it once
+	// per iteration and return early with an error wrapping ctx.Err(), the
+	// partial iterate in Result.X. A nil Ctx (the zero value) disables the
+	// check, so existing callers are unaffected.
+	Ctx context.Context
 }
 
 // DefaultSolveOptions matches the experiments' settings.
@@ -57,6 +63,10 @@ func CG(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error) {
 	rsold := vec.Dot(r, r)
 	res := Result{}
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := canceled(opt.Ctx); err != nil {
+			res.X = x
+			return res, fmt.Errorf("apps: CG canceled at iteration %d: %w", iter, err)
+		}
 		op.SpMV(ap, p)
 		pap := vec.Dot(p, ap)
 		if pap <= 0 {

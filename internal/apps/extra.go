@@ -39,6 +39,10 @@ func Jacobi(op Operator, diag, b []float64, omega float64, opt SolveOptions, hoo
 	ax := make([]float64, n)
 	res := Result{}
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := canceled(opt.Ctx); err != nil {
+			res.X = x
+			return res, fmt.Errorf("apps: Jacobi canceled at iteration %d: %w", iter, err)
+		}
 		op.SpMV(ax, x)
 		var rnorm float64
 		for i := range x {
@@ -88,6 +92,10 @@ func PowerMethod(op Operator, opt SolveOptions, hook Hook) (PowerResult, error) 
 	out := PowerResult{}
 	lambda := 0.0
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := canceled(opt.Ctx); err != nil {
+			out.X = x
+			return out, fmt.Errorf("apps: power method canceled at iteration %d: %w", iter, err)
+		}
 		op.SpMV(ax, x)
 		newLambda := vec.Dot(x, ax)
 		norm := vec.Nrm2(ax)

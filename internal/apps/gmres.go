@@ -72,6 +72,10 @@ func GMRES(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error
 
 		j := 0
 		for ; j < m && totalIter < opt.MaxIters; j++ {
+			if err := canceled(opt.Ctx); err != nil {
+				res.X = x
+				return res, fmt.Errorf("apps: GMRES canceled at iteration %d: %w", totalIter+1, err)
+			}
 			op.SpMV(w, V[j])
 			// Modified Gram-Schmidt.
 			for i := 0; i <= j; i++ {

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sparse"
@@ -16,6 +17,9 @@ type PageRankOptions struct {
 	Tol float64
 	// MaxIters caps the iteration count.
 	MaxIters int
+	// Ctx optionally carries a cancellation context, checked once per
+	// iteration; nil disables the check (see SolveOptions.Ctx).
+	Ctx context.Context
 }
 
 // DefaultPageRankOptions matches common PageRank practice.
@@ -88,6 +92,10 @@ func PageRank(op Operator, dangling []bool, opt PageRankOptions, hook Hook) (Res
 	next := make([]float64, n)
 	res := Result{}
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := canceled(opt.Ctx); err != nil {
+			res.X = x
+			return res, fmt.Errorf("apps: PageRank canceled at iteration %d: %w", iter, err)
+		}
 		var danglingMass float64
 		for i, d := range dangling {
 			if d {

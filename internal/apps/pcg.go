@@ -76,6 +76,10 @@ func PCG(op Operator, m Preconditioner, b []float64, opt SolveOptions, hook Hook
 	rz := vec.Dot(r, z)
 	res := Result{}
 	for iter := 1; iter <= opt.MaxIters; iter++ {
+		if err := canceled(opt.Ctx); err != nil {
+			res.X = x
+			return res, fmt.Errorf("apps: PCG canceled at iteration %d: %w", iter, err)
+		}
 		op.SpMV(ap, p)
 		pap := vec.Dot(p, ap)
 		if pap <= 0 {

@@ -36,7 +36,11 @@ type Stats struct {
 // indicator once per loop iteration via RecordProgress; after K iterations
 // the wrapper may transparently convert the matrix to a better format.
 //
-// Adaptive is not safe for concurrent use (it mirrors a single solver loop).
+// Adaptive is not safe for concurrent use (it mirrors a single solver
+// loop): SpMV, RecordProgress and the accessors must all run on one
+// goroutine. To share a wrapped matrix across goroutines — e.g. one
+// registry handle serving many requests — use SafeAdaptive, which
+// serializes every access behind a mutex.
 type Adaptive struct {
 	cfg      Config
 	preds    *Predictors

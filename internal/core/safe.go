@@ -1,0 +1,75 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/sparse"
+)
+
+// SafeAdaptive makes an Adaptive usable from multiple goroutines. Adaptive
+// itself mirrors a single solver loop and is documented as single-goroutine;
+// a long-lived service that shares one matrix handle across concurrent
+// requests needs the stronger contract. SafeAdaptive provides it by
+// serializing every access behind one mutex: SpMV calls on the same handle
+// never overlap (each SpMV is internally goroutine-parallel already, so
+// serializing requests costs little throughput), and the lazy-and-light
+// pipeline still runs exactly once, no matter how many goroutines feed
+// progress concurrently.
+//
+// SafeAdaptive satisfies the same Operator contract as Adaptive, so it
+// drops into the solvers unchanged.
+type SafeAdaptive struct {
+	mu sync.Mutex
+	ad *Adaptive
+}
+
+// NewSafeAdaptive wraps an existing Adaptive. The caller must not keep
+// using the inner Adaptive directly afterwards.
+func NewSafeAdaptive(ad *Adaptive) *SafeAdaptive {
+	return &SafeAdaptive{ad: ad}
+}
+
+// SpMV computes y = A*x under the handle lock.
+func (s *SafeAdaptive) SpMV(y, x []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ad.SpMV(y, x)
+}
+
+// Dims returns the matrix dimensions.
+func (s *SafeAdaptive) Dims() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ad.Dims()
+}
+
+// RecordProgress feeds one loop iteration's progress indicator. The K-th
+// call (across all goroutines) triggers the selection pipeline while the
+// lock is held, so concurrent SpMV callers observe the format change
+// atomically.
+func (s *SafeAdaptive) RecordProgress(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ad.RecordProgress(v)
+}
+
+// Stats returns a copy of the wrapper's bookkeeping.
+func (s *SafeAdaptive) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ad.Stats()
+}
+
+// Format returns the format SpMV currently runs on.
+func (s *SafeAdaptive) Format() sparse.Format {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ad.Format()
+}
+
+// OverheadSeconds is the total measured selector overhead so far.
+func (s *SafeAdaptive) OverheadSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ad.OverheadSeconds()
+}

@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/sparse"
+)
+
+// TestSafeAdaptiveConcurrentHammer drives one SafeAdaptive from many
+// goroutines mixing SpMV, RecordProgress and stats reads. Run under -race
+// this is the concurrency-contract test: the raw Adaptive would trip the
+// detector immediately.
+func TestSafeAdaptiveConcurrentHammer(t *testing.T) {
+	m := genCSR(t, matgen.FamBanded, 1500, 11)
+	ad := core.NewAdaptive(m, 1e-8, core.NewPredictors(), core.DefaultConfig(), false)
+	sa := core.NewSafeAdaptive(ad)
+	rows, cols := sa.Dims()
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			x := make([]float64, cols)
+			y := make([]float64, rows)
+			for i := range x {
+				x[i] = 1
+			}
+			r := 1.0
+			for i := 0; i < perWorker; i++ {
+				sa.SpMV(y, x)
+				// Slow decay keeps the predicted remaining count high, so
+				// the pipeline's stage-2 path is exercised under contention.
+				r *= 0.995
+				sa.RecordProgress(r)
+				_ = sa.Stats()
+				_ = sa.Format()
+				_ = sa.OverheadSeconds()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := sa.Stats()
+	if st.Iterations != workers*perWorker {
+		t.Errorf("recorded %d iterations, want %d", st.Iterations, workers*perWorker)
+	}
+	if !st.Stage1Ran {
+		t.Error("stage 1 never ran despite crossing K")
+	}
+	// Empty (non-nil) predictors run stage 2 but can never choose a
+	// conversion, so the format must still be CSR and SpMV must stay exact.
+	if st.Converted || sa.Format() != sparse.FmtCSR {
+		t.Errorf("empty predictors converted the matrix: %+v", st)
+	}
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = 1
+	}
+	got := make([]float64, rows)
+	want := make([]float64, rows)
+	sa.SpMV(got, x)
+	m.SpMV(want, x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("SpMV through SafeAdaptive differs at %d", i)
+		}
+	}
+}
+
+// TestSafeAdaptivePipelineOnce checks the selection pipeline runs exactly
+// once even when the K-th progress report races with others.
+func TestSafeAdaptivePipelineOnce(t *testing.T) {
+	m := genCSR(t, matgen.FamBanded, 1000, 12)
+	ad := core.NewAdaptive(m, 1e-8, core.NewPredictors(), core.DefaultConfig(), false)
+	sa := core.NewSafeAdaptive(ad)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				sa.RecordProgress(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	st := sa.Stats()
+	if !st.Stage1Ran {
+		t.Fatal("pipeline never ran")
+	}
+	f1 := st.FeatureSeconds
+	sa.RecordProgress(0.5)
+	if sa.Stats().FeatureSeconds != f1 {
+		t.Error("pipeline ran more than once")
+	}
+}

@@ -2,7 +2,9 @@ package mmio
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -106,6 +108,58 @@ func TestReadErrors(t *testing.T) {
 		if _, err := Read(strings.NewReader(src)); err == nil {
 			t.Errorf("%s: Read accepted invalid input", name)
 		}
+	}
+}
+
+func TestParseErrorsCarryNameAndLine(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		wantSub  string
+	}{
+		{"bad banner", "%%NotMM matrix coordinate real general\n1 1 0\n", 1, "banner"},
+		{"bad field", "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", 1, "field"},
+		{"bad size line", "%%MatrixMarket matrix coordinate real general\nfoo bar baz\n", 2, "size line"},
+		{"size after comments", "%%MatrixMarket matrix coordinate real general\n% one\n% two\nnope\n", 4, "size line"},
+		{"bad row index", "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1\n", 3, "row index"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 abc\n", 4, "value"},
+		{"out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n", 3, "outside"},
+		{"short entry", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n", 3, "entry"},
+		{"truncated", "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1\n", 3, "expected 3 entries"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadNamed(strings.NewReader(tc.src), "bad.mtx")
+			if err == nil {
+				t.Fatal("accepted invalid input")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *ParseError: %v", err, err)
+			}
+			if pe.Name != "bad.mtx" {
+				t.Errorf("error lost the input name: %v", err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("error at line %d, want %d: %v", pe.Line, tc.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), "bad.mtx:"+strconv.Itoa(tc.wantLine)) {
+				t.Errorf("message %q does not render name:line", err.Error())
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("message %q does not mention %q", err.Error(), tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorUnwrapsCause(t *testing.T) {
+	src := "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nope\n"
+	_, err := Read(strings.NewReader(src))
+	var ne *strconv.NumError
+	if !errors.As(err, &ne) {
+		t.Errorf("strconv cause not reachable through %v", err)
 	}
 }
 

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// RegisterRequest is the body of POST /v1/matrices. Exactly one of
+// MatrixMarket (inline .mtx text) or Generate must be set.
+type RegisterRequest struct {
+	// Name is an optional human label echoed back in stats.
+	Name string `json:"name,omitempty"`
+	// MatrixMarket is the matrix in Matrix Market exchange text.
+	MatrixMarket string `json:"matrix_market,omitempty"`
+	// Generate asks the server to synthesize a matrix instead.
+	Generate *GenerateSpec `json:"generate,omitempty"`
+	// Tol is the convergence tolerance of the loops this matrix will be
+	// used in, on the scale of the progress indicator fed to the selector
+	// (absolute residual norm for the linear solvers). Defaults to the
+	// server's configured tolerance.
+	Tol float64 `json:"tol,omitempty"`
+	// AsTransition converts the uploaded adjacency matrix into the
+	// column-stochastic PageRank transition operator at registration and
+	// stores the dangling-node flags; required for app "pagerank".
+	AsTransition bool `json:"as_transition,omitempty"`
+}
+
+// GenerateSpec names a synthetic matrix family (see internal/matgen):
+// banded, stencil2d, stencil3d, random, uniform, powerlaw, block, spd.
+type GenerateSpec struct {
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	Degree int    `json:"degree,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// SelectorStats is the JSON rendering of core.Stats: what the two-stage
+// selector did for this handle and what it cost (the paper's T_predict and
+// T_convert, measured).
+type SelectorStats struct {
+	Iterations     int     `json:"iterations"`
+	Stage1Ran      bool    `json:"stage1_ran"`
+	PredictedTotal int     `json:"predicted_total,omitempty"`
+	Stage2Ran      bool    `json:"stage2_ran"`
+	Converted      bool    `json:"converted"`
+	Format         string  `json:"format"`
+	FeatureSeconds float64 `json:"feature_seconds"`
+	PredictSeconds float64 `json:"predict_seconds"`
+	ConvertSeconds float64 `json:"convert_seconds"`
+}
+
+func selectorStats(st core.Stats) SelectorStats {
+	return SelectorStats{
+		Iterations:     st.Iterations,
+		Stage1Ran:      st.Stage1Ran,
+		PredictedTotal: st.PredictedTotal,
+		Stage2Ran:      st.Stage2Ran,
+		Converted:      st.Converted,
+		Format:         st.Format.String(),
+		FeatureSeconds: st.FeatureSeconds,
+		PredictSeconds: st.PredictSeconds,
+		ConvertSeconds: st.ConvertSeconds,
+	}
+}
+
+// MatrixInfo is the stats document for one registered matrix, returned by
+// registration and GET /v1/matrices/{id}.
+type MatrixInfo struct {
+	ID         string        `json:"id"`
+	Name       string        `json:"name,omitempty"`
+	Rows       int           `json:"rows"`
+	Cols       int           `json:"cols"`
+	NNZ        int           `json:"nnz"`
+	Tol        float64       `json:"tol"`
+	Transition bool          `json:"transition"`
+	CreatedAt  time.Time     `json:"created_at"`
+	SpMVCalls  int64         `json:"spmv_calls"`
+	SolveCalls int64         `json:"solve_calls"`
+	Selector   SelectorStats `json:"selector"`
+	// Evicted lists handles that were removed to make room; only set on
+	// the registration response.
+	Evicted []string `json:"evicted,omitempty"`
+}
+
+// ListResponse is the body of GET /v1/matrices.
+type ListResponse struct {
+	Matrices    []MatrixInfo `json:"matrices"`
+	RegistryNNZ int64        `json:"registry_nnz"`
+	CapacityNNZ int64        `json:"capacity_nnz"`
+}
+
+// SpMVRequest is the body of POST /v1/matrices/{id}/spmv: a batch of
+// x-vectors, each of length cols.
+type SpMVRequest struct {
+	X [][]float64 `json:"x"`
+}
+
+// SpMVResponse returns y = A*x for each input vector, in order.
+type SpMVResponse struct {
+	Y      [][]float64 `json:"y"`
+	Format string      `json:"format"`
+}
+
+// SolveRequest is the body of POST /v1/matrices/{id}/solve.
+type SolveRequest struct {
+	// App selects the solver: cg, pcg, bicgstab, gmres, jacobi, power,
+	// pagerank (pagerank requires registration with as_transition).
+	App string `json:"app"`
+	// B is the right-hand side; defaults to the all-ones vector. Ignored
+	// by pagerank and power.
+	B []float64 `json:"b,omitempty"`
+	// Tol, MaxIters, Restart override the solver defaults.
+	Tol      float64 `json:"tol,omitempty"`
+	MaxIters int     `json:"max_iters,omitempty"`
+	Restart  int     `json:"restart,omitempty"`
+	// Damping is the PageRank damping factor (default 0.85).
+	Damping float64 `json:"damping,omitempty"`
+	// TimeoutMillis caps the solve wall-clock; defaults to the server's
+	// configured timeout. The solvers abort within one iteration.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// IncludeX returns the solution vector (omitted by default: for large
+	// systems it dominates the response size).
+	IncludeX bool `json:"include_x,omitempty"`
+}
+
+// SolveResponse summarizes a solve and the selector activity it drove.
+type SolveResponse struct {
+	App            string        `json:"app"`
+	Iterations     int           `json:"iterations"`
+	Converged      bool          `json:"converged"`
+	Residual       float64       `json:"residual"`
+	Format         string        `json:"format"`
+	DurationMillis float64       `json:"duration_ms"`
+	Selector       SelectorStats `json:"selector"`
+	Eigenvalue     *float64      `json:"eigenvalue,omitempty"`
+	X              []float64     `json:"x,omitempty"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sparse"
+)
+
+// Metrics is the daemon's hand-rolled counter set, exposed as JSON on
+// /metrics. Everything is an atomic so the hot paths never take a lock for
+// bookkeeping; Snapshot assembles a consistent-enough view (counters are
+// monotone, so slight skew between fields is harmless).
+type Metrics struct {
+	// HTTP traffic.
+	RequestsTotal atomic.Int64 // every request routed to a /v1 handler
+	RequestErrors atomic.Int64 // requests answered with a 4xx/5xx status
+	InFlight      atomic.Int64 // /v1 requests currently being served
+
+	// Work admitted through the pool.
+	SpMVRequests  atomic.Int64 // spmv endpoint calls
+	SpMVVectors   atomic.Int64 // individual x-vectors multiplied
+	SolveRequests atomic.Int64 // solve endpoint calls
+	SolveIters    atomic.Int64 // solver iterations executed server-side
+	QueueRejected atomic.Int64 // requests bounced because the queue was full
+	Timeouts      atomic.Int64 // requests that hit their deadline
+
+	// Selector activity. Conversions counts stage-2 decisions that
+	// re-formatted a matrix; ConversionsAvoided counts stage-2 runs that
+	// (correctly, per the cost model) kept CSR.
+	Conversions        atomic.Int64
+	ConversionsAvoided atomic.Int64
+
+	// Per-format SpMV counts, indexed by sparse.Format. Solve iterations
+	// count as one SpMV each (an approximation: BiCGSTAB does two per
+	// iteration), attributed to the handle's format at request end.
+	SpMVByFormat [sparse.NumFormats]atomic.Int64
+
+	// Registry occupancy, maintained by the Registry.
+	RegistryMatrices atomic.Int64
+	RegistryNNZ      atomic.Int64
+	RegistryBytes    atomic.Int64
+	Evictions        atomic.Int64
+}
+
+// CountSpMV attributes n SpMV executions to format f.
+func (m *Metrics) CountSpMV(f sparse.Format, n int64) {
+	if f.Valid() {
+		m.SpMVByFormat[int(f)].Add(n)
+	}
+}
+
+// Snapshot renders all counters as a JSON-ready map.
+func (m *Metrics) Snapshot() map[string]any {
+	byFormat := make(map[string]int64)
+	for i := range m.SpMVByFormat {
+		if n := m.SpMVByFormat[i].Load(); n > 0 {
+			byFormat[sparse.Format(i).String()] = n
+		}
+	}
+	return map[string]any{
+		"requests_total":      m.RequestsTotal.Load(),
+		"request_errors":      m.RequestErrors.Load(),
+		"in_flight":           m.InFlight.Load(),
+		"spmv_requests":       m.SpMVRequests.Load(),
+		"spmv_vectors":        m.SpMVVectors.Load(),
+		"solve_requests":      m.SolveRequests.Load(),
+		"solve_iterations":    m.SolveIters.Load(),
+		"queue_rejected":      m.QueueRejected.Load(),
+		"timeouts":            m.Timeouts.Load(),
+		"conversions":         m.Conversions.Load(),
+		"conversions_avoided": m.ConversionsAvoided.Load(),
+		"spmv_by_format":      byFormat,
+		"registry_matrices":   m.RegistryMatrices.Load(),
+		"registry_nnz":        m.RegistryNNZ.Load(),
+		"registry_bytes":      m.RegistryBytes.Load(),
+		"evictions":           m.Evictions.Load(),
+	}
+}

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Pool.Do when the bounded admission queue is
+// already holding its maximum number of waiters; callers translate it to
+// HTTP 503 so load sheds at the door instead of piling up.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Pool is the admission/worker layer: at most `workers` compute jobs
+// (SpMV batches, solver loops) run at once, and at most `queueDepth`
+// additional jobs may wait for a slot. SpMV saturates the machine's cores
+// on its own, so running more jobs than parallel.Workers() concurrently
+// only adds cache pressure and tail latency — the pool turns overload into
+// fast 503s and bounded queueing delay instead.
+type Pool struct {
+	sem      chan struct{}
+	admitted atomic.Int64 // running + waiting
+	maxAdmit int64
+}
+
+// NewPool sizes the worker pool. workers and queueDepth must be >= 1 and
+// >= 0 respectively; zero values get sensible floors.
+func NewPool(workers, queueDepth int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Pool{
+		sem:      make(chan struct{}, workers),
+		maxAdmit: int64(workers + queueDepth),
+	}
+}
+
+// Do runs fn on a pool slot. It returns ErrQueueFull immediately when the
+// queue is saturated, the context's error if the deadline expires while
+// waiting for a slot, and otherwise fn's own error. fn is responsible for
+// honoring ctx once running (the solvers check it every iteration).
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	if p.admitted.Add(1) > p.maxAdmit {
+		p.admitted.Add(-1)
+		return ErrQueueFull
+	}
+	defer p.admitted.Add(-1)
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.sem }()
+	return fn()
+}
+
+// Waiting reports how many jobs are currently admitted (running + queued).
+func (p *Pool) Waiting() int64 { return p.admitted.Load() }

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPoolCapsConcurrencyAndBoundsQueue(t *testing.T) {
+	p := NewPool(1, 1)
+	ctx := context.Background()
+
+	running := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = p.Do(ctx, func() error {
+			close(running)
+			<-release
+			return nil
+		})
+	}()
+	<-running
+
+	// Second job fits in the queue; park it waiting for the slot.
+	second := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		second <- p.Do(ctx, func() error { return nil })
+	}()
+	// Wait until the second job is admitted to the queue.
+	for p.Waiting() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third job must bounce: 1 running + 1 queued is the configured max.
+	if err := p.Do(ctx, func() error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow job got %v, want ErrQueueFull", err)
+	}
+
+	close(release)
+	if err := <-second; err != nil {
+		t.Fatalf("queued job failed: %v", err)
+	}
+	wg.Wait()
+	if p.Waiting() != 0 {
+		t.Errorf("admitted count %d after drain, want 0", p.Waiting())
+	}
+}
+
+func TestPoolHonorsContextWhileQueued(t *testing.T) {
+	p := NewPool(1, 4)
+	release := make(chan struct{})
+	running := make(chan struct{})
+	go func() {
+		_ = p.Do(context.Background(), func() error {
+			close(running)
+			<-release
+			return nil
+		})
+	}()
+	<-running
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := p.Do(ctx, func() error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued job under expired deadline got %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestPoolPropagatesFnError(t *testing.T) {
+	p := NewPool(2, 2)
+	sentinel := errors.New("boom")
+	if err := p.Do(context.Background(), func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// Handle is one registered matrix: the CSR master copy, the concurrency-safe
+// adaptive wrapper running the two-stage selector for it, and usage
+// bookkeeping. Handles live in the Registry and are shared by every request
+// that names their ID; the adaptive state therefore accumulates progress
+// across requests, which is exactly how conversion cost amortizes in the
+// paper's T_affected model.
+type Handle struct {
+	ID      string
+	Name    string
+	Rows    int
+	Cols    int
+	NNZ     int
+	Tol     float64
+	Created time.Time
+
+	// SA is the selector state; safe for concurrent use.
+	SA *core.SafeAdaptive
+
+	// csr is the master copy (also referenced inside SA); kept for
+	// diagonal extraction and other whole-matrix reads.
+	csr *sparse.CSR
+
+	// Dangling is non-nil when the matrix was registered as a PageRank
+	// transition operator; it flags the zero-out-degree nodes.
+	Dangling []bool
+
+	mu         sync.Mutex
+	diag       []float64 // lazily extracted
+	spmvCalls  int64
+	solveCalls int64
+	stage2Seen bool // whether the selector pipeline outcome was counted
+}
+
+// Diag returns the matrix diagonal, extracting and caching it on first use
+// (PCG's Jacobi preconditioner and the Jacobi solver need it).
+func (h *Handle) Diag() []float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.diag == nil {
+		n := h.Rows
+		d := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for k := h.csr.Ptr[i]; k < h.csr.Ptr[i+1]; k++ {
+				if int(h.csr.Col[k]) == i {
+					d[i] = h.csr.Data[k]
+					break
+				}
+			}
+		}
+		h.diag = d
+	}
+	return h.diag
+}
+
+// countUse records request-level usage and, once per handle, folds the
+// selector's pipeline outcome into the server metrics.
+func (h *Handle) countUse(m *Metrics, spmvs, solves int64) {
+	h.mu.Lock()
+	h.spmvCalls += spmvs
+	h.solveCalls += solves
+	counted := h.stage2Seen
+	var st core.Stats
+	if !counted {
+		st = h.SA.Stats()
+		if st.Stage2Ran {
+			h.stage2Seen = true
+		}
+	}
+	h.mu.Unlock()
+	if !counted && st.Stage2Ran {
+		if st.Converted {
+			m.Conversions.Add(1)
+		} else {
+			m.ConversionsAvoided.Add(1)
+		}
+	}
+}
+
+// Usage returns the handle's cumulative request counters.
+func (h *Handle) Usage() (spmvCalls, solveCalls int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.spmvCalls, h.solveCalls
+}
+
+// Registry owns the registered matrices. Capacity is bounded by total nnz
+// across all handles (nnz is proportional to resident bytes for CSR); when
+// an insert would exceed the bound, least-recently-used handles are evicted
+// until it fits. Every lookup refreshes recency.
+type Registry struct {
+	mu      sync.Mutex
+	maxNNZ  int64
+	curNNZ  int64
+	entries map[string]*regEntry
+	lru     *list.List // front = most recently used; values are *Handle
+	nextID  int64
+	metrics *Metrics
+}
+
+type regEntry struct {
+	h    *Handle
+	elem *list.Element
+}
+
+// NewRegistry creates a registry bounded at maxNNZ total stored nonzeros.
+func NewRegistry(maxNNZ int64, m *Metrics) *Registry {
+	if m == nil {
+		m = &Metrics{}
+	}
+	return &Registry{
+		maxNNZ:  maxNNZ,
+		entries: make(map[string]*regEntry),
+		lru:     list.New(),
+		metrics: m,
+	}
+}
+
+// Add registers a handle, assigning it a fresh ID, evicting LRU handles as
+// needed. It fails if the matrix alone exceeds the registry bound. Returns
+// the IDs evicted to make room.
+func (r *Registry) Add(h *Handle) (evicted []string, err error) {
+	nnz := int64(h.NNZ)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if nnz > r.maxNNZ {
+		return nil, fmt.Errorf("server: matrix has %d nonzeros, registry capacity is %d", nnz, r.maxNNZ)
+	}
+	for r.curNNZ+nnz > r.maxNNZ {
+		back := r.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*Handle)
+		r.removeLocked(victim.ID)
+		r.metrics.Evictions.Add(1)
+		evicted = append(evicted, victim.ID)
+	}
+	r.nextID++
+	h.ID = fmt.Sprintf("m%d", r.nextID)
+	r.entries[h.ID] = &regEntry{h: h, elem: r.lru.PushFront(h)}
+	r.curNNZ += nnz
+	r.metrics.RegistryMatrices.Add(1)
+	r.metrics.RegistryNNZ.Add(nnz)
+	r.metrics.RegistryBytes.Add(h.csr.Bytes())
+	return evicted, nil
+}
+
+// Get looks a handle up and marks it most recently used.
+func (r *Registry) Get(id string) (*Handle, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return nil, false
+	}
+	r.lru.MoveToFront(e.elem)
+	return e.h, true
+}
+
+// Delete removes a handle by ID.
+func (r *Registry) Delete(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[id]; !ok {
+		return false
+	}
+	r.removeLocked(id)
+	return true
+}
+
+// removeLocked unlinks an entry and updates occupancy metrics. Caller holds
+// r.mu and has verified the ID exists.
+func (r *Registry) removeLocked(id string) {
+	e := r.entries[id]
+	r.lru.Remove(e.elem)
+	delete(r.entries, id)
+	r.curNNZ -= int64(e.h.NNZ)
+	r.metrics.RegistryMatrices.Add(-1)
+	r.metrics.RegistryNNZ.Add(-int64(e.h.NNZ))
+	r.metrics.RegistryBytes.Add(-e.h.csr.Bytes())
+}
+
+// List snapshots the registered handles, most recently used first.
+func (r *Registry) List() []*Handle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Handle, 0, r.lru.Len())
+	for e := r.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*Handle))
+	}
+	return out
+}
+
+// Occupancy reports current and maximum total nnz.
+func (r *Registry) Occupancy() (cur, max int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.curNNZ, r.maxNNZ
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+)
+
+// makeHandle builds an unregistered handle around an n x n single-diagonal
+// matrix (nnz == n), so capacity arithmetic in the tests is exact.
+func makeHandle(t *testing.T, name string, n int) *Handle {
+	t.Helper()
+	csr, err := matgen.Banded(n, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csr.NNZ() != n {
+		t.Fatalf("diagonal matrix has nnz %d, want %d", csr.NNZ(), n)
+	}
+	ad := core.NewAdaptive(csr, 1e-8, nil, core.DefaultConfig(), false)
+	rows, cols := csr.Dims()
+	return &Handle{
+		Name: name, Rows: rows, Cols: cols, NNZ: csr.NNZ(),
+		Tol: 1e-8, Created: time.Now(), SA: core.NewSafeAdaptive(ad), csr: csr,
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	m := &Metrics{}
+	r := NewRegistry(250, m)
+
+	a := makeHandle(t, "a", 100)
+	b := makeHandle(t, "b", 100)
+	if _, err := r.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, ok := r.Get(a.ID); !ok {
+		t.Fatal("a vanished")
+	}
+	c := makeHandle(t, "c", 100)
+	evicted, err := r.Add(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != b.ID {
+		t.Errorf("evicted %v, want [%s]", evicted, b.ID)
+	}
+	if _, ok := r.Get(b.ID); ok {
+		t.Error("evicted handle still resolvable")
+	}
+	if _, ok := r.Get(a.ID); !ok {
+		t.Error("recently used handle was evicted")
+	}
+	if got := m.Evictions.Load(); got != 1 {
+		t.Errorf("eviction counter %d, want 1", got)
+	}
+	if cur, _ := r.Occupancy(); cur != 200 {
+		t.Errorf("occupancy %d, want 200", cur)
+	}
+	if got := m.RegistryMatrices.Load(); got != 2 {
+		t.Errorf("registry matrices %d, want 2", got)
+	}
+	if got := m.RegistryNNZ.Load(); got != 200 {
+		t.Errorf("registry nnz %d, want 200", got)
+	}
+}
+
+func TestRegistryEvictsSeveralForOneBigInsert(t *testing.T) {
+	r := NewRegistry(300, nil)
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := r.Add(makeHandle(t, name, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 150 nnz into a full 300-capacity registry: two of the three 100-nnz
+	// residents must go (one eviction leaves 200+150 > 300).
+	big := makeHandle(t, "big", 150)
+	evicted, err := r.Add(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 2 {
+		t.Errorf("evicted %d handles, want 2", len(evicted))
+	}
+	if len(r.List()) != 2 {
+		t.Errorf("%d handles resident, want 2", len(r.List()))
+	}
+}
+
+func TestRegistryRejectsOversizedMatrix(t *testing.T) {
+	r := NewRegistry(50, nil)
+	if _, err := r.Add(makeHandle(t, "big", 100)); err == nil {
+		t.Fatal("matrix larger than the registry was accepted")
+	}
+	if len(r.List()) != 0 {
+		t.Error("rejected matrix left residue")
+	}
+}
+
+func TestRegistryDeleteLifecycle(t *testing.T) {
+	m := &Metrics{}
+	r := NewRegistry(1000, m)
+	h := makeHandle(t, "a", 100)
+	if _, err := r.Add(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ID == "" {
+		t.Fatal("Add did not assign an ID")
+	}
+	if !r.Delete(h.ID) {
+		t.Fatal("Delete failed")
+	}
+	if r.Delete(h.ID) {
+		t.Error("double delete succeeded")
+	}
+	if _, ok := r.Get(h.ID); ok {
+		t.Error("deleted handle resolvable")
+	}
+	if cur, _ := r.Occupancy(); cur != 0 {
+		t.Errorf("occupancy %d after delete, want 0", cur)
+	}
+	if got := m.RegistryBytes.Load(); got != 0 {
+		t.Errorf("registry bytes %d after delete, want 0", got)
+	}
+}
+
+func TestHandleDiag(t *testing.T) {
+	h := makeHandle(t, "d", 10)
+	d := h.Diag()
+	if len(d) != 10 {
+		t.Fatalf("diag length %d", len(d))
+	}
+	for i, v := range d {
+		if v != h.csr.At(i, i) {
+			t.Errorf("diag[%d] = %g, want %g", i, v, h.csr.At(i, i))
+		}
+	}
+}

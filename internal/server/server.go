@@ -1,0 +1,549 @@
+// Package server implements ocsd, the long-running SpMV service that makes
+// the paper's overhead-conscious cost model concrete: matrices are
+// registered once, live across many requests, and each handle runs the
+// two-stage lazy-and-light selector so the one-time conversion cost
+// amortizes over every SpMV and solve any client sends its way — exactly
+// the T_affected = T_predict + T_convert + Σ T_spmv·N accounting of §III.
+//
+// The subsystem is four pieces:
+//
+//   - Registry: upload/generate a matrix → opaque handle, LRU-bounded by
+//     total nnz with eviction stats;
+//   - Handle: a mutex-guarded core.SafeAdaptive per matrix, so the
+//     selector state is shared safely across concurrent requests;
+//   - Pool: an admission layer capping concurrent compute at the machine's
+//     worker count with a bounded queue (overload sheds as 503s);
+//   - HTTP/JSON API: register, stats, batched spmv, solve (CG, PCG,
+//     BiCGSTAB, GMRES, Jacobi, power method, PageRank), delete, plus
+//     /healthz and /metrics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/mmio"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// Config sizes the server. Zero values get production-ready defaults.
+type Config struct {
+	// MaxRegistryNNZ bounds the registry's total stored nonzeros
+	// (default 50e6, roughly 800 MB of CSR arrays).
+	MaxRegistryNNZ int64
+	// Workers caps concurrent SpMV/solve jobs (default parallel.Workers()).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker slot (default 4x
+	// Workers; negative means no queue — overload rejects immediately).
+	QueueDepth int
+	// DefaultSolveTimeout applies when a solve request names none
+	// (default 60s).
+	DefaultSolveTimeout time.Duration
+	// DefaultTol is the selector tolerance for handles registered without
+	// one (default 1e-8).
+	DefaultTol float64
+	// MaxBodyBytes bounds request bodies (default 64 MB).
+	MaxBodyBytes int64
+	// Preds is the trained stage-2 predictor bundle; nil runs stage 1 only
+	// (matrices then never convert, but tripcount stats still accumulate).
+	Preds *core.Predictors
+	// Selector overrides the selector configuration; nil uses
+	// core.DefaultConfig().
+	Selector *core.Config
+	// SerialKernels switches the handles to the serial SpMV kernels
+	// (useful when the pool already saturates all cores with many small
+	// matrices).
+	SerialKernels bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxRegistryNNZ <= 0 {
+		c.MaxRegistryNNZ = 50_000_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = parallel.Workers()
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultSolveTimeout <= 0 {
+		c.DefaultSolveTimeout = 60 * time.Second
+	}
+	if c.DefaultTol <= 0 {
+		c.DefaultTol = 1e-8
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the ocsd service: registry + pool + metrics + HTTP handlers.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// drainMu guards the graceful-shutdown state: once draining is set new
+	// /v1 requests are refused, and idle is closed when the last in-flight
+	// request finishes.
+	drainMu  sync.Mutex
+	draining bool
+	inflight int
+	idle     chan struct{}
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := &Metrics{}
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.MaxRegistryNNZ, m),
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
+		metrics: m,
+		mux:     http.NewServeMux(),
+		idle:    make(chan struct{}),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("POST /v1/matrices", s.track(s.handleRegister))
+	s.mux.Handle("GET /v1/matrices", s.track(s.handleList))
+	s.mux.Handle("GET /v1/matrices/{id}", s.track(s.handleGet))
+	s.mux.Handle("DELETE /v1/matrices/{id}", s.track(s.handleDelete))
+	s.mux.Handle("POST /v1/matrices/{id}/spmv", s.track(s.handleSpMV))
+	s.mux.Handle("POST /v1/matrices/{id}/solve", s.track(s.handleSolve))
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counter set (primarily for tests and the daemon).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry exposes the matrix registry (primarily for tests and the daemon).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// track wraps a /v1 handler with request accounting and drain gating: once
+// Drain has been called, new work is refused with 503 while in-flight
+// requests run to completion.
+func (s *Server) track(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.drainMu.Lock()
+		if s.draining {
+			s.drainMu.Unlock()
+			s.fail(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		s.inflight++
+		s.drainMu.Unlock()
+		s.metrics.RequestsTotal.Add(1)
+		s.metrics.InFlight.Add(1)
+		defer func() {
+			s.metrics.InFlight.Add(-1)
+			s.drainMu.Lock()
+			s.inflight--
+			if s.draining && s.inflight == 0 {
+				close(s.idle)
+			}
+			s.drainMu.Unlock()
+		}()
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	})
+}
+
+// Drain stops admitting new /v1 requests and waits until every in-flight
+// request (including long solves) has completed, or ctx expires. It is the
+// graceful-shutdown half the HTTP listener cannot provide on its own: call
+// Drain first, then http.Server.Shutdown to close idle connections.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	if !s.draining {
+		s.draining = true
+		if s.inflight == 0 {
+			close(s.idle)
+		}
+	}
+	ch := s.idle
+	s.drainMu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ---- plumbing ----
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.metrics.RequestErrors.Add(1)
+	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// lookup resolves {id} or writes a 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Handle, bool) {
+	id := r.PathValue("id")
+	h, ok := s.reg.Get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no matrix %q (it may have been evicted)", id)
+		return nil, false
+	}
+	return h, true
+}
+
+func (s *Server) info(h *Handle) MatrixInfo {
+	spmv, solve := h.Usage()
+	return MatrixInfo{
+		ID:         h.ID,
+		Name:       h.Name,
+		Rows:       h.Rows,
+		Cols:       h.Cols,
+		NNZ:        h.NNZ,
+		Tol:        h.Tol,
+		Transition: h.Dangling != nil,
+		CreatedAt:  h.Created,
+		SpMVCalls:  spmv,
+		SolveCalls: solve,
+		Selector:   selectorStats(h.SA.Stats()),
+	}
+}
+
+// ---- endpoints ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	if draining {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+// parseFamily resolves a matgen family by its lower-case name.
+func parseFamily(name string) (matgen.Family, error) {
+	for _, f := range matgen.AllFamilies {
+		if f.String() == strings.ToLower(name) {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown family %q", name)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	var (
+		csr *sparse.CSR
+		err error
+	)
+	switch {
+	case req.MatrixMarket != "" && req.Generate != nil:
+		s.fail(w, http.StatusBadRequest, "matrix_market and generate are mutually exclusive")
+		return
+	case req.MatrixMarket != "":
+		name := req.Name
+		if name == "" {
+			name = "upload"
+		}
+		csr, err = mmio.ReadNamed(strings.NewReader(req.MatrixMarket), name)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "parsing matrix: %v", err)
+			return
+		}
+	case req.Generate != nil:
+		g := req.Generate
+		fam, ferr := parseFamily(g.Family)
+		if ferr != nil {
+			s.fail(w, http.StatusBadRequest, "generate: %v", ferr)
+			return
+		}
+		csr, err = matgen.Generate(matgen.Spec{
+			Name: req.Name, Family: fam, Size: g.Size, Degree: g.Degree, Seed: g.Seed,
+		})
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "generate: %v", err)
+			return
+		}
+	default:
+		s.fail(w, http.StatusBadRequest, "one of matrix_market or generate is required")
+		return
+	}
+
+	var dangling []bool
+	if req.AsTransition {
+		csr, dangling, err = apps.BuildTransition(csr)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, "building transition matrix: %v", err)
+			return
+		}
+	}
+
+	tol := req.Tol
+	if tol <= 0 {
+		tol = s.cfg.DefaultTol
+	}
+	selCfg := core.DefaultConfig()
+	if s.cfg.Selector != nil {
+		selCfg = *s.cfg.Selector
+	}
+	ad := core.NewAdaptive(csr, tol, s.cfg.Preds, selCfg, !s.cfg.SerialKernels)
+	rows, cols := csr.Dims()
+	h := &Handle{
+		Name:     req.Name,
+		Rows:     rows,
+		Cols:     cols,
+		NNZ:      csr.NNZ(),
+		Tol:      tol,
+		Created:  time.Now(),
+		SA:       core.NewSafeAdaptive(ad),
+		csr:      csr,
+		Dangling: dangling,
+	}
+	evicted, err := s.reg.Add(h)
+	if err != nil {
+		s.fail(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	info := s.info(h)
+	info.Evicted = evicted
+	s.writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	hs := s.reg.List()
+	resp := ListResponse{Matrices: make([]MatrixInfo, 0, len(hs))}
+	for _, h := range hs {
+		resp.Matrices = append(resp.Matrices, s.info(h))
+	}
+	resp.RegistryNNZ, resp.CapacityNNZ = s.reg.Occupancy()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.info(h))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.reg.Delete(id) {
+		s.fail(w, http.StatusNotFound, "no matrix %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req SpMVRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.X) == 0 {
+		s.fail(w, http.StatusBadRequest, "x must hold at least one vector")
+		return
+	}
+	for i, x := range req.X {
+		if len(x) != h.Cols {
+			s.fail(w, http.StatusBadRequest, "x[%d] has length %d, matrix has %d columns", i, len(x), h.Cols)
+			return
+		}
+	}
+	ys := make([][]float64, len(req.X))
+	err := s.pool.Do(r.Context(), func() error {
+		for i, x := range req.X {
+			if err := r.Context().Err(); err != nil {
+				return err
+			}
+			y := make([]float64, h.Rows)
+			h.SA.SpMV(y, x)
+			ys[i] = y
+		}
+		return nil
+	})
+	if err != nil {
+		s.failWork(w, err)
+		return
+	}
+	s.metrics.SpMVRequests.Add(1)
+	s.metrics.SpMVVectors.Add(int64(len(req.X)))
+	s.metrics.CountSpMV(h.SA.Format(), int64(len(req.X)))
+	h.countUse(s.metrics, int64(len(req.X)), 0)
+	s.writeJSON(w, http.StatusOK, SpMVResponse{Y: ys, Format: h.SA.Format().String()})
+}
+
+// failWork maps pool/solver errors to HTTP statuses.
+func (s *Server) failWork(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.metrics.QueueRejected.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.Timeouts.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, "%v", err)
+	case errors.Is(err, context.Canceled):
+		s.fail(w, http.StatusGatewayTimeout, "%v", err)
+	default:
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req SolveRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	timeout := s.cfg.DefaultSolveTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	opt := apps.DefaultSolveOptions()
+	opt.Ctx = ctx
+	if req.Tol > 0 {
+		opt.Tol = req.Tol
+	}
+	if req.MaxIters > 0 {
+		opt.MaxIters = req.MaxIters
+	}
+	if req.Restart > 0 {
+		opt.Restart = req.Restart
+	}
+	b := req.B
+	needB := req.App != "pagerank" && req.App != "power"
+	if needB {
+		if b == nil {
+			b = make([]float64, h.Rows)
+			for i := range b {
+				b[i] = 1
+			}
+		} else if len(b) != h.Rows {
+			s.fail(w, http.StatusBadRequest, "b has length %d, matrix has %d rows", len(b), h.Rows)
+			return
+		}
+	}
+	hook := func(_ int, p float64) { h.SA.RecordProgress(p) }
+
+	var (
+		res   apps.Result
+		eig   *float64
+		start = time.Now()
+	)
+	err := s.pool.Do(ctx, func() error {
+		var err error
+		switch req.App {
+		case "cg":
+			res, err = apps.CG(h.SA, b, opt, hook)
+		case "pcg":
+			pre, perr := apps.NewJacobiPreconditioner(h.Diag())
+			if perr != nil {
+				return perr
+			}
+			res, err = apps.PCG(h.SA, pre, b, opt, hook)
+		case "bicgstab":
+			res, err = apps.BiCGSTAB(h.SA, b, opt, hook)
+		case "gmres":
+			res, err = apps.GMRES(h.SA, b, opt, hook)
+		case "jacobi":
+			res, err = apps.Jacobi(h.SA, h.Diag(), b, 2.0/3.0, opt, hook)
+		case "power":
+			var pr apps.PowerResult
+			pr, err = apps.PowerMethod(h.SA, opt, hook)
+			res = pr.Result
+			eig = &pr.Eigenvalue
+		case "pagerank":
+			if h.Dangling == nil {
+				return fmt.Errorf("matrix %s was not registered with as_transition", h.ID)
+			}
+			propt := apps.DefaultPageRankOptions()
+			propt.Ctx = ctx
+			if req.Tol > 0 {
+				propt.Tol = req.Tol
+			}
+			if req.MaxIters > 0 {
+				propt.MaxIters = req.MaxIters
+			}
+			if req.Damping > 0 {
+				propt.Damping = req.Damping
+			}
+			res, err = apps.PageRank(h.SA, h.Dangling, propt, hook)
+		default:
+			return fmt.Errorf("unknown app %q (want cg, pcg, bicgstab, gmres, jacobi, power or pagerank)", req.App)
+		}
+		return err
+	})
+	if err != nil {
+		s.failWork(w, err)
+		return
+	}
+	format := h.SA.Format()
+	s.metrics.SolveRequests.Add(1)
+	s.metrics.SolveIters.Add(int64(res.Iterations))
+	s.metrics.CountSpMV(format, int64(res.Iterations))
+	h.countUse(s.metrics, int64(res.Iterations), 1)
+	resp := SolveResponse{
+		App:            req.App,
+		Iterations:     res.Iterations,
+		Converged:      res.Converged,
+		Residual:       res.Residual,
+		Format:         format.String(),
+		DurationMillis: float64(time.Since(start).Microseconds()) / 1000,
+		Selector:       selectorStats(h.SA.Stats()),
+		Eigenvalue:     eig,
+	}
+	if req.IncludeX {
+		resp.X = res.X
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}

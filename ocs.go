@@ -119,14 +119,15 @@ var (
 	DefaultPageRankOptions = apps.DefaultPageRankOptions
 )
 
-// ReadMatrixMarket loads a Matrix Market (.mtx) file as CSR.
+// ReadMatrixMarket loads a Matrix Market (.mtx) file as CSR. Parse errors
+// carry the file name and 1-based line number (see mmio.ParseError).
 func ReadMatrixMarket(path string) (*CSRMatrix, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("ocs: %w", err)
 	}
 	defer f.Close()
-	return mmio.Read(f)
+	return mmio.ReadNamed(f, path)
 }
 
 // WriteMatrixMarket stores a matrix as a Matrix Market file.
