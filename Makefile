@@ -9,13 +9,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/core/... ./internal/parallel/...
+	$(GO) test -race ./internal/server/... ./internal/core/... ./internal/parallel/... ./internal/sparse/... ./internal/vec/... ./internal/features/...
 
 vet:
 	$(GO) vet ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/parallel/
+	$(GO) run ./cmd/ocsbench -out BENCH_spmv.json
 
 serve:
 	$(GO) run ./cmd/ocsd -train

@@ -1,0 +1,283 @@
+// Command ocsbench times the kernel substrate — per-format SpMV, CSR->format
+// conversion (serial vs team-parallel), and raw dispatch overhead (spawn-per-
+// call vs persistent team) — and writes the results as machine-readable JSON.
+// It exists so the paper's T_convert and T_spmv·N accounting can be fed real
+// measured numbers from the current machine:
+//
+//	go run ./cmd/ocsbench -out BENCH_spmv.json
+//
+// The emitted file is a single JSON object: environment metadata plus a flat
+// list of records, each carrying the benchmark kind, matrix family, format,
+// nnz, worker count and ns/op.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/matgen"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// Record is one timed measurement.
+type Record struct {
+	// Kind is "dispatch", "spmv" or "convert".
+	Kind string `json:"kind"`
+	// Matrix is the matgen family the matrix came from (spmv/convert).
+	Matrix string `json:"matrix,omitempty"`
+	// Format is the sparse format measured (spmv/convert).
+	Format string `json:"format,omitempty"`
+	// Variant distinguishes dispatch strategies: "serial", "spawn", "team".
+	Variant string `json:"variant,omitempty"`
+	// N is the loop length for dispatch records.
+	N int `json:"n,omitempty"`
+	// NNZ is the matrix nonzero count (spmv/convert).
+	NNZ int `json:"nnz,omitempty"`
+	// Workers is the GOMAXPROCS the measurement ran under.
+	Workers int `json:"workers"`
+	// NsPerOp is the measured wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Iters is how many operations the measurement averaged over.
+	Iters int `json:"iters"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Generated  string   `json:"generated"`
+	Records    []Record `json:"records"`
+}
+
+// benchLimits mirror the kernel benchmarks in bench_test.go: DIA/ELL keep
+// their sane default caps (an uncapped DIA on a scatter matrix would pad to
+// absurd storage), BSR is uncapped so blocky-vs-not comparisons appear.
+var benchLimits = sparse.Limits{
+	DIAFill:        sparse.DefaultLimits.DIAFill,
+	ELLFill:        sparse.DefaultLimits.ELLFill,
+	BSRFill:        1e9,
+	BSRBlockSize:   4,
+	HYBRowFraction: 1.0 / 3.0,
+}
+
+// measure times f like a miniature testing.B: grow the iteration count until
+// the batch runs for at least minTime, then report the mean.
+func measure(minTime time.Duration, f func()) (nsPerOp float64, iters int) {
+	f() // warm up (page in matrices, create the default team)
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minTime || n >= 1<<24 {
+			return float64(elapsed.Nanoseconds()) / float64(n), n
+		}
+		next := n * 2
+		if elapsed > 0 {
+			// Aim 20% past minTime to avoid creeping up in tiny steps.
+			next = int(1.2 * float64(n) * float64(minTime) / float64(elapsed))
+		}
+		if next <= n {
+			next = n + 1
+		}
+		n = next
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_spmv.json", "output JSON path")
+	size := flag.Int("size", 20000, "matrix dimension for generated families")
+	degree := flag.Int("degree", 10, "average row degree for generated families")
+	seed := flag.Int64("seed", 9, "matrix generator seed")
+	minTime := flag.Duration("mintime", 30*time.Millisecond, "minimum sampling time per measurement")
+	procs := flag.Int("procs", 0, "GOMAXPROCS for the parallel measurements (0 = max(NumCPU, 4))")
+	flag.Parse()
+
+	// Raise GOMAXPROCS to at least 4 by default: on single-core machines the
+	// parallel entry points would otherwise take their serial fallback and
+	// nothing but the serial kernels would be measured. Goroutines then
+	// time-slice, so the recorded numbers still honestly reflect dispatch
+	// overhead (and workers is recorded per measurement).
+	if *procs <= 0 {
+		*procs = runtime.NumCPU()
+		if *procs < 4 {
+			*procs = 4
+		}
+	}
+	runtime.GOMAXPROCS(*procs)
+	maxProcs := runtime.GOMAXPROCS(0)
+	report := Report{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: maxProcs,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	report.Records = append(report.Records, dispatchRecords(*minTime, maxProcs)...)
+
+	for _, fam := range []matgen.Family{matgen.FamBanded, matgen.FamRandom, matgen.FamPowerLaw, matgen.FamBlock} {
+		a, err := matgen.Generate(matgen.Spec{
+			Name: fam.String(), Family: fam, Size: *size, Degree: *degree, Seed: *seed,
+		})
+		if err != nil {
+			log.Printf("skip family %s: %v", fam, err)
+			continue
+		}
+		report.Records = append(report.Records, spmvRecords(*minTime, fam.String(), a, maxProcs)...)
+		report.Records = append(report.Records, convertRecords(*minTime, fam.String(), a, maxProcs)...)
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d, NumCPU=%d)\n",
+		len(report.Records), *out, maxProcs, report.NumCPU)
+	printSummary(&report)
+}
+
+// dispatchRecords times raw dispatch overhead: the same streaming body run
+// serially, via spawn-per-call goroutines, and via the persistent team.
+func dispatchRecords(minTime time.Duration, workers int) []Record {
+	var recs []Record
+	team := parallel.Default()
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		x := make([]float64, n)
+		body := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i]++
+			}
+		}
+		variants := []struct {
+			name string
+			run  func()
+		}{
+			{"serial", func() { body(0, n) }},
+			{"spawn", func() { parallel.SpawnForThreshold(n, 1, body) }},
+			{"team", func() { team.ForThreshold(n, 1, body) }},
+		}
+		for _, v := range variants {
+			ns, iters := measure(minTime, v.run)
+			recs = append(recs, Record{
+				Kind: "dispatch", Variant: v.name, N: n,
+				Workers: workers, NsPerOp: ns, Iters: iters,
+			})
+		}
+	}
+	return recs
+}
+
+// spmvRecords times the parallel SpMV kernel of every format the matrix
+// converts to.
+func spmvRecords(minTime time.Duration, name string, a *sparse.CSR, workers int) []Record {
+	var recs []Record
+	for _, f := range sparse.AllFormats {
+		m, err := sparse.ConvertFromCSR(a, f, benchLimits)
+		if err != nil {
+			continue
+		}
+		rows, cols := m.Dims()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = 1
+		}
+		y := make([]float64, rows)
+		ns, iters := measure(minTime, func() { m.SpMVParallel(y, x) })
+		recs = append(recs, Record{
+			Kind: "spmv", Matrix: name, Format: f.String(),
+			NNZ: m.NNZ(), Workers: workers, NsPerOp: ns, Iters: iters,
+		})
+	}
+	return recs
+}
+
+// convertRecords times CSR->format conversion twice per format: pinned to
+// one worker (the serial kernels) and at full width (the team-parallel
+// kernels). The pair quantifies the conversion speedup — and, divided by a
+// CSR SpMV time, the paper's conversion-cost-in-SpMV-units input.
+func convertRecords(minTime time.Duration, name string, a *sparse.CSR, workers int) []Record {
+	var recs []Record
+	for _, f := range sparse.AllFormats {
+		if f == sparse.FmtCSR {
+			continue
+		}
+		if _, err := sparse.ConvertFromCSR(a, f, benchLimits); err != nil {
+			continue
+		}
+		for _, w := range workerCounts(workers) {
+			old := runtime.GOMAXPROCS(w)
+			ns, iters := measure(minTime, func() {
+				if _, err := sparse.ConvertFromCSR(a, f, benchLimits); err != nil {
+					log.Fatalf("convert %s/%s: %v", name, f, err)
+				}
+			})
+			runtime.GOMAXPROCS(old)
+			recs = append(recs, Record{
+				Kind: "convert", Matrix: name, Format: f.String(),
+				NNZ: a.NNZ(), Workers: w, NsPerOp: ns, Iters: iters,
+			})
+		}
+	}
+	return recs
+}
+
+// workerCounts returns the GOMAXPROCS settings to compare: serial and full
+// width (deduplicated on single-core machines).
+func workerCounts(max int) []int {
+	if max <= 1 {
+		return []int{1}
+	}
+	return []int{1, max}
+}
+
+// printSummary prints the headline comparisons: team-vs-spawn dispatch
+// overhead and per-format conversion speedups.
+func printSummary(r *Report) {
+	type key struct{ kind, matrix, format, variant string }
+	byKey := map[key]map[int]float64{} // -> workers (or N for dispatch) -> ns/op
+	for _, rec := range r.Records {
+		k := key{rec.Kind, rec.Matrix, rec.Format, rec.Variant}
+		if byKey[k] == nil {
+			byKey[k] = map[int]float64{}
+		}
+		switch rec.Kind {
+		case "dispatch":
+			byKey[k][rec.N] = rec.NsPerOp
+		default:
+			byKey[k][rec.Workers] = rec.NsPerOp
+		}
+	}
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		spawn := byKey[key{"dispatch", "", "", "spawn"}][n]
+		team := byKey[key{"dispatch", "", "", "team"}][n]
+		if spawn > 0 && team > 0 {
+			fmt.Printf("dispatch n=%-8d spawn %.0f ns/op, team %.0f ns/op (%.2fx)\n",
+				n, spawn, team, spawn/team)
+		}
+	}
+	for _, rec := range r.Records {
+		if rec.Kind != "convert" || rec.Workers != 1 {
+			continue
+		}
+		par := byKey[key{"convert", rec.Matrix, rec.Format, ""}][r.GOMAXPROCS]
+		if par > 0 && r.GOMAXPROCS > 1 {
+			fmt.Printf("convert %s/%-5s serial %.2f ms, %d workers %.2f ms (%.2fx)\n",
+				rec.Matrix, rec.Format, rec.NsPerOp/1e6, r.GOMAXPROCS, par/1e6, rec.NsPerOp/par)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package features
 
 import (
 	"math"
-	"sync"
 
 	"repro/internal/parallel"
 	"repro/internal/sparse"
@@ -44,68 +43,65 @@ func extractParallel(a *sparse.CSR, s *Set) {
 	ranges := alignedRanges(rows, p, BlockEdge)
 	scratch := make([]workerScratch, len(ranges))
 
-	var wg sync.WaitGroup
-	wg.Add(len(ranges))
-	for w, r := range ranges {
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			ws := &scratch[w]
-			ws.minRD = math.MaxInt64
-			ws.cd = make([]int32, cols)
-			ws.diag = make([]int32, rows+cols-1)
-			mark := make([]int32, (cols+BlockEdge-1)/BlockEdge)
-			for i := range mark {
-				mark[i] = -1
+	// Dispatch through the shared worker team: scratch is indexed by range,
+	// not by executing worker, so results are identical no matter which team
+	// worker claims which range.
+	parallel.ForRangesIndexed(ranges, func(w, lo, hi int) {
+		ws := &scratch[w]
+		ws.minRD = math.MaxInt64
+		ws.cd = make([]int32, cols)
+		ws.diag = make([]int32, rows+cols-1)
+		mark := make([]int32, (cols+BlockEdge-1)/BlockEdge)
+		for i := range mark {
+			mark[i] = -1
+		}
+		for i := lo; i < hi; i++ {
+			rd := a.Ptr[i+1] - a.Ptr[i]
+			if rd < ws.minRD {
+				ws.minRD = rd
 			}
-			for i := lo; i < hi; i++ {
-				rd := a.Ptr[i+1] - a.Ptr[i]
-				if rd < ws.minRD {
-					ws.minRD = rd
+			if rd > ws.maxRD {
+				ws.maxRD = rd
+			}
+			ws.sumRD += float64(rd)
+			ws.sumSqRD += float64(rd) * float64(rd)
+			if i > 0 { // gap (i-1, i) owned by the range containing i
+				prev := a.Ptr[i] - a.Ptr[i-1]
+				ws.bounce += math.Abs(float64(rd - prev))
+			}
+			bi := int32(i / BlockEdge)
+			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+				c := a.Col[k]
+				ws.cd[c]++
+				ws.diag[int(c)-i+rows-1]++
+				if k > a.Ptr[i] && a.Col[k-1] == c-1 {
+					ws.neighbor += 2
 				}
-				if rd > ws.maxRD {
-					ws.maxRD = rd
+				bj := int(c) / BlockEdge
+				if mark[bj] != bi {
+					mark[bj] = bi
+					ws.blocks++
 				}
-				ws.sumRD += float64(rd)
-				ws.sumSqRD += float64(rd) * float64(rd)
-				if i > 0 { // gap (i-1, i) owned by the range containing i
-					prev := a.Ptr[i] - a.Ptr[i-1]
-					ws.bounce += math.Abs(float64(rd - prev))
-				}
-				bi := int32(i / BlockEdge)
-				for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
-					c := a.Col[k]
-					ws.cd[c]++
-					ws.diag[int(c)-i+rows-1]++
-					if k > a.Ptr[i] && a.Col[k-1] == c-1 {
+			}
+			// Vertical matches with row i+1 (read-only on that row).
+			if i+1 < rows {
+				pp, q := a.Ptr[i], a.Ptr[i+1]
+				pEnd, qEnd := a.Ptr[i+1], a.Ptr[i+2]
+				for pp < pEnd && q < qEnd {
+					switch {
+					case a.Col[pp] < a.Col[q]:
+						pp++
+					case a.Col[pp] > a.Col[q]:
+						q++
+					default:
 						ws.neighbor += 2
-					}
-					bj := int(c) / BlockEdge
-					if mark[bj] != bi {
-						mark[bj] = bi
-						ws.blocks++
-					}
-				}
-				// Vertical matches with row i+1 (read-only on that row).
-				if i+1 < rows {
-					pp, q := a.Ptr[i], a.Ptr[i+1]
-					pEnd, qEnd := a.Ptr[i+1], a.Ptr[i+2]
-					for pp < pEnd && q < qEnd {
-						switch {
-						case a.Col[pp] < a.Col[q]:
-							pp++
-						case a.Col[pp] > a.Col[q]:
-							q++
-						default:
-							ws.neighbor += 2
-							pp++
-							q++
-						}
+						pp++
+						q++
 					}
 				}
 			}
-		}(w, r[0], r[1])
-	}
-	wg.Wait()
+		}
+	})
 
 	// Merge worker scratch. Row stats and counters are order-independent.
 	minRD, maxRD := math.MaxInt64, 0

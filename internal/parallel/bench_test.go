@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkDispatch compares the per-call cost of the three dispatch
+// strategies on a simple streaming body: serial (no dispatch at all),
+// spawn-per-call (P fresh goroutines + WaitGroup, the pre-Team design) and
+// the persistent team (parked workers woken per region). The gap between
+// spawn and team at small n is exactly the per-call overhead the team
+// amortizes; at large n the body dominates and the strategies converge.
+//
+// GOMAXPROCS is pinned to at least 4 so the parallel paths engage even on
+// small CI machines (goroutines then time-slice; the dispatch cost being
+// measured is real either way).
+func BenchmarkDispatch(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	team := NewTeam(4)
+	defer team.Close()
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		x := make([]float64, n)
+		body := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				x[i]++
+			}
+		}
+		b.Run(fmt.Sprintf("serial/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				body(0, n)
+			}
+		})
+		b.Run(fmt.Sprintf("spawn/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SpawnForThreshold(n, 1, body)
+			}
+		})
+		b.Run(fmt.Sprintf("team/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				team.ForThreshold(n, 1, body)
+			}
+		})
+	}
+}
+
+// BenchmarkDispatchRanges is BenchmarkDispatch for the precomputed-range
+// entry points, which the conversion kernels use with nnz-balanced
+// partitions.
+func BenchmarkDispatchRanges(b *testing.B) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	team := NewTeam(4)
+	defer team.Close()
+	const n = 1 << 16
+	x := make([]float64, n)
+	ranges := EvenRanges(n, 4)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i]++
+		}
+	}
+	b.Run("spawn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SpawnForRanges(ranges, body)
+		}
+	})
+	b.Run("team", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			team.ForRanges(ranges, body)
+		}
+	})
+}

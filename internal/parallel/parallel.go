@@ -1,8 +1,10 @@
-// Package parallel provides small helpers for data-parallel loops used by
-// the SpMV kernels: a chunked parallel-for and an nnz-balanced row
-// partitioner. All helpers are synchronous: they return only after every
-// worker has finished, so callers never need additional synchronization for
-// the data the workers wrote.
+// Package parallel provides the data-parallel substrate for the SpMV,
+// conversion and vector kernels: a persistent worker team (Team) with
+// chunked parallel-for entry points, an nnz-balanced row partitioner, and
+// the spawn-per-call reference implementations kept for benchmarking the
+// dispatch overhead the team removes. All helpers are synchronous: they
+// return only after every worker has finished, so callers never need
+// additional synchronization for the data the workers wrote.
 package parallel
 
 import (
@@ -11,24 +13,89 @@ import (
 )
 
 // MinParallelWork is the smallest amount of work (loop iterations) for which
-// For will bother spawning goroutines. Below this the loop runs inline: the
-// goroutine fan-out costs more than it saves on tiny matrices, which matters
-// here because format-selection experiments time kernels on matrices of all
-// sizes.
+// For will bother going parallel. Below this the loop runs inline: even the
+// team's amortized dispatch costs more than it saves on tiny matrices, which
+// matters here because format-selection experiments time kernels on matrices
+// of all sizes.
 const MinParallelWork = 1 << 12
 
 // Workers reports the number of workers parallel loops will use.
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
 // For runs body(lo, hi) over disjoint subranges covering [0, n) using up to
-// Workers() goroutines. Each body call receives a contiguous half-open range.
-// If n is small the loop runs inline on the calling goroutine.
+// Workers() participants of the default team. Each body call receives a
+// contiguous half-open range. If n is small the loop runs inline on the
+// calling goroutine.
 func For(n int, body func(lo, hi int)) {
 	ForThreshold(n, MinParallelWork, body)
 }
 
 // ForThreshold is For with an explicit serial-fallback threshold.
 func ForThreshold(n, threshold int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if p <= 1 || n < threshold {
+		body(0, n)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	Default().parFor(n, p, body)
+}
+
+// ForRanges runs body over the given precomputed ranges (pairs of [lo,hi)),
+// claimed dynamically by the default team's workers. Used with
+// PartitionByWeight for load-balanced row partitioning where rows have
+// wildly different costs.
+func ForRanges(ranges [][2]int, body func(lo, hi int)) {
+	switch {
+	case len(ranges) == 0:
+		return
+	case len(ranges) == 1:
+		body(ranges[0][0], ranges[0][1])
+		return
+	case Workers() <= 1:
+		for _, r := range ranges {
+			body(r[0], r[1])
+		}
+		return
+	}
+	Default().ForRanges(ranges, body)
+}
+
+// ForRangesIndexed is ForRanges for bodies that need the range's index,
+// typically to address per-range scratch state merged after the call. Range
+// w always runs as index w no matter which worker claims it.
+func ForRangesIndexed(ranges [][2]int, body func(w, lo, hi int)) {
+	switch {
+	case len(ranges) == 0:
+		return
+	case len(ranges) == 1:
+		body(0, ranges[0][0], ranges[0][1])
+		return
+	case Workers() <= 1:
+		for w, r := range ranges {
+			body(w, r[0], r[1])
+		}
+		return
+	}
+	Default().ForRangesIndexed(ranges, body)
+}
+
+// ---------------------------------------------------------------------------
+// Spawn-per-call reference implementations.
+//
+// These are the pre-Team dispatchers: P fresh goroutines plus a WaitGroup
+// per call. They are kept (and exported) so benchmarks and tests can compare
+// team dispatch against them — the difference is the per-call overhead the
+// team amortizes away.
+
+// SpawnForThreshold is ForThreshold implemented by spawning one goroutine
+// per chunk on every call.
+func SpawnForThreshold(n, threshold int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -59,10 +126,9 @@ func ForThreshold(n, threshold int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
-// ForRanges runs body over the given precomputed ranges (pairs of [lo,hi)),
-// one goroutine per range. Used with PartitionByWeight for load-balanced row
-// partitioning where rows have wildly different costs.
-func ForRanges(ranges [][2]int, body func(lo, hi int)) {
+// SpawnForRanges is ForRanges implemented by spawning one goroutine per
+// range on every call.
+func SpawnForRanges(ranges [][2]int, body func(lo, hi int)) {
 	switch len(ranges) {
 	case 0:
 		return
@@ -79,6 +145,29 @@ func ForRanges(ranges [][2]int, body func(lo, hi int)) {
 		}(r[0], r[1])
 	}
 	wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning helpers.
+
+// EvenRanges splits [0, n) into at most parts contiguous near-equal ranges.
+func EvenRanges(n, parts int) [][2]int {
+	if n <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	chunk := (n + parts - 1) / parts
+	ranges := make([][2]int, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	return ranges
 }
 
 // PartitionByWeight splits [0, n) into at most parts contiguous ranges whose

@@ -95,6 +95,13 @@ type Server struct {
 	pool    *Pool
 	metrics *Metrics
 	mux     *http.ServeMux
+	// team is the process-wide parallel worker team every kernel (SpMV,
+	// conversion, vector ops) dispatches through. The server warms it at
+	// construction so the first request never pays worker spawn latency,
+	// and the admission pool above it caps concurrent solves — one parked
+	// team plus a bounded job count means no goroutine explosion no matter
+	// how many clients hammer /v1. nil when SerialKernels is set.
+	team *parallel.Team
 
 	// drainMu guards the graceful-shutdown state: once draining is set new
 	// /v1 requests are refused, and idle is closed when the last in-flight
@@ -116,6 +123,9 @@ func New(cfg Config) *Server {
 		metrics: m,
 		mux:     http.NewServeMux(),
 		idle:    make(chan struct{}),
+	}
+	if !cfg.SerialKernels {
+		s.team = parallel.Default()
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -253,7 +263,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	if s.team != nil {
+		// Team dispatch counters: Woken/Dispatches well below Width-1 means
+		// concurrent solves are sharing the team (each dispatch finds fewer
+		// idle workers), which is the intended behavior under load.
+		snap["parallel_team"] = s.team.Stats()
+	}
+	s.writeJSON(w, http.StatusOK, snap)
 }
 
 // parseFamily resolves a matgen family by its lower-case name.

@@ -1,6 +1,23 @@
 package sparse
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// convParts decides the worker count for one conversion pass over `work`
+// units (nonzeros or padded slots): 1 below the parallel threshold, else the
+// machine's worker count. Conversions run once per matrix but the paper
+// prices them in SpMV-equivalents (9-270x), so the passes parallelize with
+// per-worker scratch wherever the output layout permits disjoint writes —
+// shrinking measured T_convert the same way the team shrinks T_spmv.
+func convParts(work int) int {
+	if work < parallel.MinParallelWork {
+		return 1
+	}
+	return parallel.Workers()
+}
 
 // Limits bounds the storage blowup a conversion may incur, mirroring the
 // library restrictions the paper mentions ("the DIA and ELL require the fill
@@ -66,20 +83,42 @@ func CSRToCOO(a *CSR) (*COO, error) {
 // CSRDiagonals returns the sorted offsets of the nonempty diagonals of a.
 // A dense occupancy bitmap (shifted by rows-1) keeps this O(nnz+rows+cols);
 // the selector calls it at runtime, so it must stay cheap relative to SpMV.
+// Large matrices mark per-worker bitmaps over nnz-balanced row ranges and
+// OR-merge them; the merged bitmap is scanned in order, so the result is
+// identical at any worker count.
 func CSRDiagonals(a *CSR) []int {
 	rows, cols := a.Dims()
 	if rows == 0 || cols == 0 {
 		return nil
 	}
-	seen := make([]bool, rows+cols-1)
-	count := 0
-	for i := 0; i < rows; i++ {
-		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
-			d := int(a.Col[k]) - i + rows - 1
-			if !seen[d] {
-				seen[d] = true
-				count++
+	ndiag := rows + cols - 1
+	var seen []bool
+	if parts := convParts(a.NNZ()); parts <= 1 {
+		seen = make([]bool, ndiag)
+		markDiagonals(a, seen, 0, rows)
+	} else {
+		ranges := parallel.PartitionByWeight(rows, parts, a.Ptr)
+		local := make([][]bool, len(ranges))
+		parallel.ForRangesIndexed(ranges, func(w, lo, hi int) {
+			local[w] = make([]bool, ndiag)
+			markDiagonals(a, local[w], lo, hi)
+		})
+		seen = local[0]
+		parallel.For(ndiag, func(lo, hi int) {
+			for w := 1; w < len(local); w++ {
+				src := local[w]
+				for d := lo; d < hi; d++ {
+					if src[d] {
+						seen[d] = true
+					}
+				}
 			}
+		})
+	}
+	count := 0
+	for _, ok := range seen {
+		if ok {
+			count++
 		}
 	}
 	offs := make([]int, 0, count)
@@ -89,6 +128,16 @@ func CSRDiagonals(a *CSR) []int {
 		}
 	}
 	return offs
+}
+
+// markDiagonals sets seen[d] for every diagonal occupied by rows [lo, hi).
+func markDiagonals(a *CSR, seen []bool, lo, hi int) {
+	rows, _ := a.Dims()
+	for i := lo; i < hi; i++ {
+		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+			seen[int(a.Col[k])-i+rows-1] = true
+		}
+	}
 }
 
 // CSRToDIA converts to DIA, rejecting matrices whose diagonal structure
@@ -101,16 +150,26 @@ func CSRToDIA(a *CSR, lim Limits) (*DIA, error) {
 		return nil, fmt.Errorf("sparse: DIA fill ratio %.1f exceeds limit %.1f (%d diagonals)",
 			float64(len(offs))*float64(rows)/float64(nnz), lim.DIAFill, len(offs))
 	}
-	diagIdx := make(map[int]int, len(offs))
-	for d, k := range offs {
-		diagIdx[k] = d
-	}
 	data := make([]float64, len(offs)*rows)
-	for i := 0; i < rows; i++ {
-		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
-			d := diagIdx[int(a.Col[k])-i]
-			data[d*rows+i] = a.Data[k]
+	if nnz > 0 {
+		// Dense offset -> diagonal-slot lookup (every stored offset is
+		// present, so no sentinel is needed); much faster than a map in the
+		// scatter loop.
+		diagIdx := make([]int32, rows+cols-1)
+		for d, k := range offs {
+			diagIdx[k+rows-1] = int32(d)
 		}
+		// Scatter in parallel over row ranges: element (d, i) lands at
+		// d*rows+i, and each worker owns a disjoint set of i, so all writes
+		// are disjoint.
+		parallel.ForRanges(parallel.PartitionByWeight(rows, convParts(nnz), a.Ptr), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+					d := int(diagIdx[int(a.Col[k])-i+rows-1])
+					data[d*rows+i] = a.Data[k]
+				}
+			}
+		})
 	}
 	return NewDIA(rows, cols, offs, data)
 }
@@ -166,16 +225,23 @@ func CSRToELL(a *CSR, lim Limits) (*ELL, error) {
 	}
 	colIdx := make([]int32, rows*width)
 	data := make([]float64, rows*width)
-	for i := range colIdx {
-		colIdx[i] = ELLPad
-	}
-	for i := 0; i < rows; i++ {
-		base := i * width
-		for n, k := 0, a.Ptr[i]; k < a.Ptr[i+1]; n, k = n+1, k+1 {
-			colIdx[base+n] = a.Col[k]
-			data[base+n] = a.Data[k]
+	// One fused scatter-and-pad pass per row: each row owns its width-slot
+	// segment, so the row loop parallelizes with disjoint writes, and fusing
+	// the ELLPad fill into it avoids a second sweep over the padded array.
+	parallel.ForRanges(parallel.EvenRanges(rows, convParts(rows*width)), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * width
+			n := 0
+			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+				colIdx[base+n] = a.Col[k]
+				data[base+n] = a.Data[k]
+				n++
+			}
+			for ; n < width; n++ {
+				colIdx[base+n] = ELLPad
+			}
 		}
-	}
+	})
 	return NewELL(rows, cols, width, colIdx, data)
 }
 
@@ -239,31 +305,51 @@ func HYBWidth(a *CSR, rowFraction float64) int {
 }
 
 // CSRToHYB converts to HYB using the width heuristic in lim.HYBRowFraction.
+// A serial counting pass sizes the COO overflow exactly (prefix sums give
+// each row its output offset), then one parallel pass scatters the ELL part,
+// its padding, and the overflow triplets with disjoint writes per row.
 func CSRToHYB(a *CSR, lim Limits) (*HYB, error) {
 	rows, cols := a.Dims()
 	width := HYBWidth(a, lim.HYBRowFraction)
 	colIdx := make([]int32, rows*width)
 	data := make([]float64, rows*width)
-	for i := range colIdx {
-		colIdx[i] = ELLPad
+	over := make([]int, rows+1)
+	for i := 0; i < rows; i++ {
+		ov := a.RowNNZ(i) - width
+		if ov < 0 {
+			ov = 0
+		}
+		over[i+1] = over[i] + ov
 	}
 	var orow, ocol []int32
 	var oval []float64
-	for i := 0; i < rows; i++ {
-		base := i * width
-		n := 0
-		for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
-			if n < width {
-				colIdx[base+n] = a.Col[k]
-				data[base+n] = a.Data[k]
-				n++
-			} else {
-				orow = append(orow, int32(i))
-				ocol = append(ocol, a.Col[k])
-				oval = append(oval, a.Data[k])
+	if total := over[rows]; total > 0 {
+		orow = make([]int32, total)
+		ocol = make([]int32, total)
+		oval = make([]float64, total)
+	}
+	parallel.ForRanges(parallel.PartitionByWeight(rows, convParts(a.NNZ()+rows*width), a.Ptr), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * width
+			n := 0
+			o := over[i]
+			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+				if n < width {
+					colIdx[base+n] = a.Col[k]
+					data[base+n] = a.Data[k]
+					n++
+				} else {
+					orow[o] = int32(i)
+					ocol[o] = a.Col[k]
+					oval[o] = a.Data[k]
+					o++
+				}
+			}
+			for ; n < width; n++ {
+				colIdx[base+n] = ELLPad
 			}
 		}
-	}
+	})
 	ell, err := NewELL(rows, cols, width, colIdx, data)
 	if err != nil {
 		return nil, err
@@ -309,69 +395,82 @@ func CSRToBSR(a *CSR, lim Limits) (*BSR, error) {
 		return nil, fmt.Errorf("sparse: BSR block size %d, want > 0", bs)
 	}
 	brows := (rows + bs - 1) / bs
-	// Pass 1: count distinct blocks per block row.
+	bcols := (cols + bs - 1) / bs
+	ranges := parallel.EvenRanges(brows, convParts(nnz))
+	// Pass 1: count distinct blocks per block row. Block rows are
+	// independent, so the counting parallelizes with one last-touch mark
+	// array per worker range; a serial prefix sum then builds rowPtr.
 	rowPtr := make([]int, brows+1)
-	mark := make([]int, (cols+bs-1)/bs) // last block row that used block col
-	for i := range mark {
-		mark[i] = -1
-	}
-	totalBlocks := 0
-	for bi := 0; bi < brows; bi++ {
-		count := 0
-		rhi := (bi + 1) * bs
-		if rhi > rows {
-			rhi = rows
+	parallel.ForRanges(ranges, func(blo, bhi int) {
+		mark := make([]int32, bcols) // last block row that used block col
+		for i := range mark {
+			mark[i] = -1
 		}
-		for i := bi * bs; i < rhi; i++ {
-			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
-				bj := int(a.Col[k]) / bs
-				if mark[bj] != bi {
-					mark[bj] = bi
-					count++
+		for bi := blo; bi < bhi; bi++ {
+			count := 0
+			rhi := (bi + 1) * bs
+			if rhi > rows {
+				rhi = rows
+			}
+			for i := bi * bs; i < rhi; i++ {
+				for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+					bj := int(a.Col[k]) / bs
+					if mark[bj] != int32(bi) {
+						mark[bj] = int32(bi)
+						count++
+					}
 				}
 			}
+			rowPtr[bi+1] = count
 		}
-		totalBlocks += count
-		rowPtr[bi+1] = totalBlocks
+	})
+	for bi := 0; bi < brows; bi++ {
+		rowPtr[bi+1] += rowPtr[bi]
 	}
+	totalBlocks := rowPtr[brows]
 	if nnz > 0 && float64(totalBlocks)*float64(bs*bs) > lim.BSRFill*float64(nnz) {
 		return nil, fmt.Errorf("sparse: BSR fill ratio %.1f exceeds limit %.1f (%d blocks of %dx%d)",
 			float64(totalBlocks)*float64(bs*bs)/float64(nnz), lim.BSRFill, totalBlocks, bs, bs)
 	}
-	// Pass 2: fill blocks. blockAt[bj] is the block slot for block column bj
-	// in the current block row, valid while mark[bj] == bi.
+	// Pass 2: fill blocks, again parallel over block rows — block row bi owns
+	// colInd[rowPtr[bi]:rowPtr[bi+1]] and the matching data chunk, so writes
+	// are disjoint. blockAt[bj] is the block slot for block column bj in the
+	// current block row, valid while mark[bj] == bi.
 	colInd := make([]int32, totalBlocks)
 	data := make([]float64, totalBlocks*bs*bs)
-	blockAt := make([]int, len(mark))
-	for i := range mark {
-		mark[i] = -1
-	}
-	for bi := 0; bi < brows; bi++ {
-		next := rowPtr[bi]
-		rhi := (bi + 1) * bs
-		if rhi > rows {
-			rhi = rows
+	parallel.ForRanges(ranges, func(blo, bhi int) {
+		mark := make([]int32, bcols)
+		blockAt := make([]int, bcols)
+		for i := range mark {
+			mark[i] = -1
 		}
-		for i := bi * bs; i < rhi; i++ {
-			for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
-				bj := int(a.Col[k]) / bs
-				if mark[bj] != bi {
-					mark[bj] = bi
-					blockAt[bj] = next
-					colInd[next] = int32(bj)
-					next++
-				}
-				b := blockAt[bj]
-				ii := i - bi*bs
-				jj := int(a.Col[k]) - bj*bs
-				data[b*bs*bs+ii*bs+jj] = a.Data[k]
+		for bi := blo; bi < bhi; bi++ {
+			next := rowPtr[bi]
+			rhi := (bi + 1) * bs
+			if rhi > rows {
+				rhi = rows
 			}
+			for i := bi * bs; i < rhi; i++ {
+				for k := a.Ptr[i]; k < a.Ptr[i+1]; k++ {
+					bj := int(a.Col[k]) / bs
+					if mark[bj] != int32(bi) {
+						mark[bj] = int32(bi)
+						blockAt[bj] = next
+						colInd[next] = int32(bj)
+						next++
+					}
+					b := blockAt[bj]
+					ii := i - bi*bs
+					jj := int(a.Col[k]) - bj*bs
+					data[b*bs*bs+ii*bs+jj] = a.Data[k]
+				}
+			}
+			// Block columns within a block row must ascend for NewBSR; CSR
+			// rows ascend per row but interleaving rows can break the order,
+			// so sort the slice of this block row's blocks.
+			sortBlockRow(colInd[rowPtr[bi]:rowPtr[bi+1]], data[rowPtr[bi]*bs*bs:rowPtr[bi+1]*bs*bs], bs)
 		}
-		// Block columns within a block row must ascend for NewBSR; CSR rows
-		// ascend per row but interleaving rows can break the order, so sort
-		// the slice of this block row's blocks.
-		sortBlockRow(colInd[rowPtr[bi]:rowPtr[bi+1]], data[rowPtr[bi]*bs*bs:rowPtr[bi+1]*bs*bs], bs)
-	}
+	})
 	return NewBSR(rows, cols, bs, rowPtr, colInd, data)
 }
 

@@ -1,0 +1,212 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// bandedCSR builds a rows x rows banded matrix with half-bandwidth b, large
+// enough to push every conversion onto its parallel path. Deterministic.
+func bandedCSR(t testing.TB, rows, b int) *CSR {
+	t.Helper()
+	ptr := make([]int, rows+1)
+	var col []int32
+	var data []float64
+	for i := 0; i < rows; i++ {
+		for j := i - b; j <= i+b; j++ {
+			if j < 0 || j >= rows {
+				continue
+			}
+			col = append(col, int32(j))
+			data = append(data, float64(i*31+j)*0.001+1)
+		}
+		ptr[i+1] = len(data)
+	}
+	m, err := NewCSR(rows, rows, ptr, col, data)
+	if err != nil {
+		t.Fatalf("bandedCSR: %v", err)
+	}
+	return m
+}
+
+// skewedCSR builds a matrix whose row lengths cycle 1..13, giving HYB a real
+// COO overflow and SELL real per-window sorting work. Deterministic.
+func skewedCSR(t testing.TB, rows int) *CSR {
+	t.Helper()
+	cols := rows
+	ptr := make([]int, rows+1)
+	var col []int32
+	var data []float64
+	for i := 0; i < rows; i++ {
+		n := i%13 + 1
+		seen := make(map[int]bool, n)
+		for k := 0; k < n; k++ {
+			j := (i*131 + k*977) % cols
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			col = append(col, int32(j))
+			data = append(data, float64(i+k)*0.01+1)
+		}
+		sortRowSegment(col[ptr[i]:], data[ptr[i]:])
+		ptr[i+1] = len(data)
+	}
+	m, err := NewCSR(rows, cols, ptr, col, data)
+	if err != nil {
+		t.Fatalf("skewedCSR: %v", err)
+	}
+	return m
+}
+
+// sortRowSegment insertion-sorts one row's (col, data) pairs by column.
+func sortRowSegment(col []int32, data []float64) {
+	for i := 1; i < len(col); i++ {
+		for j := i; j > 0 && col[j-1] > col[j]; j-- {
+			col[j-1], col[j] = col[j], col[j-1]
+			data[j-1], data[j] = data[j], data[j-1]
+		}
+	}
+}
+
+// payload strips construction-time caches that are sized to the current
+// worker count by design (BSR's nnz-balanced block-row partition), leaving
+// only the stored matrix content for the determinism comparison.
+func payload(m any) any {
+	if b, ok := m.(*BSR); ok {
+		return []any{b.BlockSize, b.RowPtr, b.ColInd, b.Data}
+	}
+	return m
+}
+
+// convertAt runs conv with GOMAXPROCS pinned to procs, restoring it after.
+func convertAt(t *testing.T, procs int, conv func() (any, error)) any {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	m, err := conv()
+	if err != nil {
+		t.Fatalf("conversion at GOMAXPROCS=%d: %v", procs, err)
+	}
+	return m
+}
+
+// TestConversionsDeterministicAcrossWorkerCounts checks the contract the
+// parallel conversion kernels were designed around: the produced matrix is
+// bit-identical at GOMAXPROCS 1 (serial path), 2, and the test maximum. The
+// comparison is reflect.DeepEqual over the full structs, so every internal
+// array (pointers, permutations, padding, tile metadata) must match, not
+// just the SpMV result.
+func TestConversionsDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	maxP := runtime.GOMAXPROCS(0)
+	if maxP < 4 {
+		maxP = 4
+	}
+	lim := DefaultLimits
+
+	cases := []struct {
+		name    string
+		a       *CSR
+		formats []string
+	}{
+		// Banded structure converts everywhere, with enough nnz for the
+		// parallel paths (rows*(2b+1) ~ 14k > MinParallelWork).
+		{"banded", bandedCSR(t, 2000, 3), []string{"DIA", "ELL", "HYB", "BSR", "CSR5", "SELL"}},
+		// Skewed row lengths exercise HYB overflow and SELL sorting; the
+		// diagonal count is too high for DIA and the blocks too scattered
+		// for BSR, so those stay out.
+		{"skewed", skewedCSR(t, 3000), []string{"ELL", "HYB", "CSR5", "SELL"}},
+		{"random", randCSR(t, rng, 600, 600, 0.02), []string{"ELL", "HYB", "CSR5", "SELL"}},
+		// Tiny matrix: all conversions take the serial fallback at every
+		// worker count; guards the threshold gate itself.
+		{"tiny", randCSR(t, rng, 12, 12, 0.3), []string{"DIA", "ELL", "HYB", "BSR", "CSR5", "SELL"}},
+	}
+
+	convs := map[string]func(a *CSR) (any, error){
+		"DIA":  func(a *CSR) (any, error) { return CSRToDIA(a, lim) },
+		"ELL":  func(a *CSR) (any, error) { return CSRToELL(a, lim) },
+		"HYB":  func(a *CSR) (any, error) { return CSRToHYB(a, lim) },
+		"BSR":  func(a *CSR) (any, error) { return CSRToBSR(a, lim) },
+		"CSR5": func(a *CSR) (any, error) { return NewCSR5FromCSR(a) },
+		"SELL": func(a *CSR) (any, error) { return NewSELLFromCSR(a) },
+	}
+
+	for _, c := range cases {
+		for _, f := range c.formats {
+			conv := convs[f]
+			t.Run(c.name+"/"+f, func(t *testing.T) {
+				ref := convertAt(t, 1, func() (any, error) { return conv(c.a) })
+				for _, p := range []int{2, maxP} {
+					got := convertAt(t, p, func() (any, error) { return conv(c.a) })
+					if !reflect.DeepEqual(payload(got), payload(ref)) {
+						t.Errorf("GOMAXPROCS=%d conversion differs from serial result", p)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCSRDiagonalsAcrossWorkerCounts covers the bitmap-merge path on a
+// matrix with many occupied diagonals (too many for an actual DIA
+// conversion, which is exactly when the selector still calls CSRDiagonals).
+func TestCSRDiagonalsAcrossWorkerCounts(t *testing.T) {
+	a := skewedCSR(t, 3000)
+	ref := CSRDiagonals(a)
+	maxP := runtime.GOMAXPROCS(0)
+	if maxP < 4 {
+		maxP = 4
+	}
+	for _, p := range []int{1, 2, maxP} {
+		old := runtime.GOMAXPROCS(p)
+		got := CSRDiagonals(a)
+		runtime.GOMAXPROCS(old)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("GOMAXPROCS=%d: CSRDiagonals differs from reference", p)
+		}
+	}
+	// Sanity on a known structure: half-bandwidth 2 occupies exactly the
+	// offsets -2..2.
+	b := bandedCSR(t, 50, 2)
+	got := CSRDiagonals(b)
+	want := []int{-2, -1, 0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("banded diagonals = %v, want %v", got, want)
+	}
+}
+
+// TestCSRDiagLinearMerge pins the linear-merge Diag against the per-element
+// binary search it replaced, including rectangular shapes and rows with no
+// stored diagonal entry.
+func TestCSRDiagLinearMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct {
+		rows, cols int
+		density    float64
+	}{
+		{60, 60, 0.1},
+		{80, 40, 0.15},
+		{40, 80, 0.15},
+		{30, 30, 0}, // fully empty: diagonal must be all zeros
+		{1, 1, 1},
+	}
+	for _, sh := range shapes {
+		a := randCSR(t, rng, sh.rows, sh.cols, sh.density)
+		d := a.Diag()
+		n := sh.rows
+		if sh.cols < n {
+			n = sh.cols
+		}
+		if len(d) != n {
+			t.Fatalf("%dx%d: Diag length %d, want %d", sh.rows, sh.cols, len(d), n)
+		}
+		for i := 0; i < n; i++ {
+			if want := a.At(i, i); d[i] != want {
+				t.Errorf("%dx%d: Diag[%d] = %g, want %g", sh.rows, sh.cols, i, d[i], want)
+			}
+		}
+	}
+}

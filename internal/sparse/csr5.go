@@ -2,6 +2,7 @@ package sparse
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/parallel"
@@ -74,7 +75,20 @@ func transposedPos(e int) int {
 	return depth*CSR5Omega + lane
 }
 
-// NewCSR5FromCSR converts a CSR matrix into the CSR5-style layout.
+// csrRowOf returns the row owning nonzero g: the unique non-empty row r with
+// Ptr[r] <= g < Ptr[r+1]. Used to seed each worker's row cursor so tile
+// ranges can be converted independently.
+func csrRowOf(a *CSR, g int) int {
+	return sort.Search(len(a.Ptr)-1, func(r int) bool { return a.Ptr[r+1] > g })
+}
+
+// NewCSR5FromCSR converts a CSR matrix into the CSR5-style layout. Tiles own
+// disjoint slices of Val/Col/BitFlag/TileFirstRow, so the transposed scatter
+// parallelizes over tile ranges: each worker binary-searches its starting
+// row once, then walks forward exactly like the serial pass. Row-start lists
+// are collected per worker and stitched together through the per-tile counts
+// (a serial prefix sum), keeping the output bit-identical to the serial
+// conversion at any worker count.
 func NewCSR5FromCSR(a *CSR) (*CSR5, error) {
 	rows, cols := a.Dims()
 	nnz := a.NNZ()
@@ -87,37 +101,55 @@ func NewCSR5FromCSR(a *CSR) (*CSR5, error) {
 		TileFirstRow: make([]int32, ntiles),
 		RowStartPtr:  make([]int, ntiles+1),
 	}
-	// rowOf[e] for the tiled prefix is implied by walking rows in order.
-	row := 0
-	advance := func(e int) {
-		// Move row forward so that Ptr[row] <= e < Ptr[row+1]; rows with no
-		// entries are skipped (they never own an element).
-		for row < rows && a.Ptr[row+1] <= e {
-			row++
-		}
-	}
-	for t := 0; t < ntiles; t++ {
-		base := t * CSR5Tile
-		advance(base)
-		m.TileFirstRow[t] = int32(row)
-		for e := 0; e < CSR5Tile; e++ {
-			g := base + e
-			advance(g)
-			pos := base + transposedPos(e)
-			m.Val[pos] = a.Data[g]
-			m.Col[pos] = a.Col[g]
-			if g == a.Ptr[row] {
-				m.BitFlag[t] |= 1 << uint(e)
-				m.RowStartRows = append(m.RowStartRows, int32(row))
+	ranges := parallel.EvenRanges(ntiles, convParts(nnz))
+	startCount := make([]int32, ntiles)
+	localStarts := make([][]int32, len(ranges))
+	parallel.ForRangesIndexed(ranges, func(w, tlo, thi int) {
+		row := csrRowOf(a, tlo*CSR5Tile)
+		var starts []int32
+		for t := tlo; t < thi; t++ {
+			base := t * CSR5Tile
+			// Move row forward so that Ptr[row] <= g < Ptr[row+1]; rows with
+			// no entries are skipped (they never own an element).
+			for row < rows && a.Ptr[row+1] <= base {
+				row++
 			}
+			m.TileFirstRow[t] = int32(row)
+			before := len(starts)
+			for e := 0; e < CSR5Tile; e++ {
+				g := base + e
+				for row < rows && a.Ptr[row+1] <= g {
+					row++
+				}
+				pos := base + transposedPos(e)
+				m.Val[pos] = a.Data[g]
+				m.Col[pos] = a.Col[g]
+				if g == a.Ptr[row] {
+					m.BitFlag[t] |= 1 << uint(e)
+					starts = append(starts, int32(row))
+				}
+			}
+			startCount[t] = int32(len(starts) - before)
 		}
-		m.RowStartPtr[t+1] = len(m.RowStartRows)
+		localStarts[w] = starts
+	})
+	for t := 0; t < ntiles; t++ {
+		m.RowStartPtr[t+1] = m.RowStartPtr[t] + int(startCount[t])
 	}
-	for g := ntiles * CSR5Tile; g < nnz; g++ {
-		advance(g)
-		m.TailRow = append(m.TailRow, int32(row))
-		m.TailCol = append(m.TailCol, a.Col[g])
-		m.TailVal = append(m.TailVal, a.Data[g])
+	m.RowStartRows = make([]int32, m.RowStartPtr[ntiles])
+	for w, r := range ranges {
+		copy(m.RowStartRows[m.RowStartPtr[r[0]]:], localStarts[w])
+	}
+	if tail := ntiles * CSR5Tile; tail < nnz {
+		row := csrRowOf(a, tail)
+		for g := tail; g < nnz; g++ {
+			for row < rows && a.Ptr[row+1] <= g {
+				row++
+			}
+			m.TailRow = append(m.TailRow, int32(row))
+			m.TailCol = append(m.TailCol, a.Col[g])
+			m.TailVal = append(m.TailVal, a.Data[g])
+		}
 	}
 	return m, nil
 }

@@ -63,67 +63,87 @@ func (m *SELL) FillRatio() float64 {
 	return float64(len(m.Data)) / float64(m.nnz)
 }
 
-// NewSELLFromCSR converts a CSR matrix to SELL-C-sigma.
+// NewSELLFromCSR converts a CSR matrix to SELL-C-sigma. All three passes
+// parallelize on disjoint state: sigma windows sort independent Perm
+// segments, slice widths touch independent slices (a serial prefix sum then
+// places them), and the scatter-and-pad pass writes only inside each slice's
+// own Cols/Data span. Every pass is deterministic (stable sorts, fixed
+// offsets), so the layout is identical at any worker count.
 func NewSELLFromCSR(a *CSR) (*SELL, error) {
 	rows, cols := a.Dims()
-	m := &SELL{rows: rows, cols: cols, nnz: a.NNZ()}
+	nnz := a.NNZ()
+	m := &SELL{rows: rows, cols: cols, nnz: nnz}
 	m.Perm = make([]int32, rows)
 	for i := range m.Perm {
 		m.Perm[i] = int32(i)
 	}
 	// Sort rows by descending length inside sigma windows.
-	for lo := 0; lo < rows; lo += SELLSigma {
-		hi := lo + SELLSigma
-		if hi > rows {
-			hi = rows
+	nwin := (rows + SELLSigma - 1) / SELLSigma
+	parallel.ForRanges(parallel.EvenRanges(nwin, convParts(nnz)), func(wlo, whi int) {
+		for wdx := wlo; wdx < whi; wdx++ {
+			lo := wdx * SELLSigma
+			hi := lo + SELLSigma
+			if hi > rows {
+				hi = rows
+			}
+			window := m.Perm[lo:hi]
+			sort.SliceStable(window, func(x, y int) bool {
+				return a.RowNNZ(int(window[x])) > a.RowNNZ(int(window[y]))
+			})
 		}
-		window := m.Perm[lo:hi]
-		sort.SliceStable(window, func(x, y int) bool {
-			return a.RowNNZ(int(window[x])) > a.RowNNZ(int(window[y]))
-		})
-	}
+	})
 	nslices := (rows + SELLC - 1) / SELLC
 	m.SliceWidth = make([]int32, nslices)
 	m.SlicePtr = make([]int, nslices+1)
-	for s := 0; s < nslices; s++ {
-		lo := s * SELLC
-		hi := lo + SELLC
-		if hi > rows {
-			hi = rows
-		}
-		w := 0
-		for r := lo; r < hi; r++ {
-			if n := a.RowNNZ(int(m.Perm[r])); n > w {
-				w = n
+	sliceRanges := parallel.EvenRanges(nslices, convParts(nnz))
+	parallel.ForRanges(sliceRanges, func(slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo := s * SELLC
+			hi := lo + SELLC
+			if hi > rows {
+				hi = rows
 			}
+			w := 0
+			for r := lo; r < hi; r++ {
+				if n := a.RowNNZ(int(m.Perm[r])); n > w {
+					w = n
+				}
+			}
+			m.SliceWidth[s] = int32(w)
+			m.SlicePtr[s+1] = w * (hi - lo)
 		}
-		m.SliceWidth[s] = int32(w)
-		m.SlicePtr[s+1] = m.SlicePtr[s] + w*(hi-lo)
+	})
+	for s := 0; s < nslices; s++ {
+		m.SlicePtr[s+1] += m.SlicePtr[s]
 	}
 	total := m.SlicePtr[nslices]
 	m.Cols = make([]int32, total)
 	m.Data = make([]float64, total)
-	for i := range m.Cols {
-		m.Cols[i] = ELLPad
-	}
-	for s := 0; s < nslices; s++ {
-		lo := s * SELLC
-		hi := lo + SELLC
-		if hi > rows {
-			hi = rows
-		}
-		height := hi - lo
-		base := m.SlicePtr[s]
-		for r := lo; r < hi; r++ {
-			orig := int(m.Perm[r])
-			local := r - lo
-			for j, k := 0, a.Ptr[orig]; k < a.Ptr[orig+1]; j, k = j+1, k+1 {
-				pos := base + j*height + local
-				m.Cols[pos] = a.Col[k]
-				m.Data[pos] = a.Data[k]
+	parallel.ForRanges(sliceRanges, func(slo, shi int) {
+		for s := slo; s < shi; s++ {
+			lo := s * SELLC
+			hi := lo + SELLC
+			if hi > rows {
+				hi = rows
+			}
+			height := hi - lo
+			base := m.SlicePtr[s]
+			w := int(m.SliceWidth[s])
+			for r := lo; r < hi; r++ {
+				orig := int(m.Perm[r])
+				local := r - lo
+				j := 0
+				for k := a.Ptr[orig]; k < a.Ptr[orig+1]; j, k = j+1, k+1 {
+					pos := base + j*height + local
+					m.Cols[pos] = a.Col[k]
+					m.Data[pos] = a.Data[k]
+				}
+				for ; j < w; j++ {
+					m.Cols[base+j*height+local] = ELLPad
+				}
 			}
 		}
-	}
+	})
 	return m, nil
 }
 

@@ -6,7 +6,6 @@ package vec
 
 import (
 	"math"
-	"sync"
 
 	"repro/internal/parallel"
 )
@@ -23,9 +22,10 @@ func Dot(x, y []float64) float64 {
 	return s
 }
 
-// DotParallel is Dot computed with multiple goroutines for long vectors.
-// Partial sums are combined in worker order so the result is deterministic
-// for a fixed GOMAXPROCS.
+// DotParallel is Dot computed on the shared worker team for long vectors.
+// Partial sums are indexed by chunk and combined in chunk order, so the
+// result is deterministic for a fixed GOMAXPROCS no matter which team
+// worker executes which chunk.
 func DotParallel(x, y []float64) float64 {
 	n := len(x)
 	if n != len(y) {
@@ -35,29 +35,15 @@ func DotParallel(x, y []float64) float64 {
 	if p <= 1 || n < parallel.MinParallelWork {
 		return Dot(x, y)
 	}
-	if p > n {
-		p = n
-	}
-	partial := make([]float64, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	chunk := (n + p - 1) / p
-	for w := 0; w < p; w++ {
-		go func(w int) {
-			defer wg.Done()
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			var s float64
-			for i := lo; i < hi; i++ {
-				s += x[i] * y[i]
-			}
-			partial[w] = s
-		}(w)
-	}
-	wg.Wait()
+	ranges := parallel.EvenRanges(n, p)
+	partial := make([]float64, len(ranges))
+	parallel.ForRangesIndexed(ranges, func(w, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += x[i] * y[i]
+		}
+		partial[w] = s
+	})
 	var s float64
 	for _, v := range partial {
 		s += v
