@@ -1,6 +1,10 @@
 GO ?= go
+# Per-target budget for `make fuzz`. The native fuzzer accepts only one
+# -fuzz pattern per invocation, hence the loop.
+FUZZTIME ?= 30s
+FUZZ_TARGETS := FuzzMMIORead FuzzConvertRoundTrip FuzzCSR5Tiles FuzzSELLSlices
 
-.PHONY: build test race vet bench serve clean
+.PHONY: build test race vet bench bench-compare fuzz fuzz-smoke serve clean
 
 build:
 	$(GO) build ./...
@@ -9,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/core/... ./internal/parallel/... ./internal/sparse/... ./internal/vec/... ./internal/features/...
+	$(GO) test -race ./internal/server/... ./internal/core/... ./internal/parallel/... ./internal/sparse/... ./internal/vec/... ./internal/features/... ./internal/arima/... ./internal/gbt/... ./internal/apps/... ./internal/check/...
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +22,23 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/parallel/
 	$(GO) run ./cmd/ocsbench -out BENCH_spmv.json
+
+# Diff a fresh (unwritten) bench run against the checked-in baseline; exits
+# nonzero on >25% dispatch/SpMV regressions. Advisory in CI — absolute
+# timings on shared runners are noisy.
+bench-compare:
+	$(GO) run ./cmd/ocsbench -out "" -compare BENCH_spmv.json
+
+# Mutational fuzzing, $(FUZZTIME) per target (override: make fuzz FUZZTIME=5m).
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "=== $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/check/ -run "^$$t$$" -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+# Replay the checked-in seed corpora only (fast, deterministic; what CI runs).
+fuzz-smoke:
+	$(GO) test ./internal/check/ -run '^Fuzz' -count=1
 
 serve:
 	$(GO) run ./cmd/ocsd -train

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rep(recs ...Record) *Report { return &Report{Records: recs} }
+
+func TestCompareReportsFlagsOnlyRealRegressions(t *testing.T) {
+	baseline := rep(
+		Record{Kind: "spmv", Matrix: "banded", Format: "ELL", Workers: 8, NsPerOp: 100},
+		Record{Kind: "spmv", Matrix: "banded", Format: "DIA", Workers: 8, NsPerOp: 100},
+		Record{Kind: "dispatch", Variant: "team", N: 1 << 16, Workers: 8, NsPerOp: 50},
+		Record{Kind: "convert", Matrix: "banded", Format: "ELL", Workers: 1, NsPerOp: 10},
+		Record{Kind: "spmv", Matrix: "random", Format: "HYB", Workers: 8, NsPerOp: 100},
+	)
+	fresh := rep(
+		// 20% slower: inside the 25% budget.
+		Record{Kind: "spmv", Matrix: "banded", Format: "ELL", Workers: 4, NsPerOp: 120},
+		// 60% slower: a regression (workers differ; key must still match).
+		Record{Kind: "spmv", Matrix: "banded", Format: "DIA", Workers: 4, NsPerOp: 160},
+		// Dispatch regression.
+		Record{Kind: "dispatch", Variant: "team", N: 1 << 16, Workers: 4, NsPerOp: 100},
+		// Convert records are advisory-only: a 10x slowdown must not gate.
+		Record{Kind: "convert", Matrix: "banded", Format: "ELL", Workers: 1, NsPerOp: 100},
+		// HYB missing from this run: skipped, not a failure.
+	)
+	regs, matched := compareReports(baseline, fresh, 0.25)
+	if matched != 3 {
+		t.Errorf("matched %d benchmarks, want 3 (ELL, DIA, dispatch)", matched)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(regs), regs)
+	}
+	// Sorted worst-first: dispatch 2.0x before DIA 1.6x.
+	if regs[0].Key.Kind != "dispatch" || regs[1].Key.Format != "DIA" {
+		t.Errorf("regression order/content wrong: %+v", regs)
+	}
+}
+
+func TestCompareReportsKeepsFastestPerKey(t *testing.T) {
+	baseline := rep(
+		Record{Kind: "spmv", Matrix: "banded", Format: "CSR", Workers: 1, NsPerOp: 300},
+		Record{Kind: "spmv", Matrix: "banded", Format: "CSR", Workers: 8, NsPerOp: 100},
+	)
+	fresh := rep(
+		Record{Kind: "spmv", Matrix: "banded", Format: "CSR", Workers: 1, NsPerOp: 290},
+		Record{Kind: "spmv", Matrix: "banded", Format: "CSR", Workers: 8, NsPerOp: 110},
+	)
+	regs, matched := compareReports(baseline, fresh, 0.25)
+	if matched != 1 || len(regs) != 0 {
+		t.Errorf("matched %d regs %d, want 1 and 0 (fastest-per-key comparison)", matched, len(regs))
+	}
+}
+
+func TestRunCompareAgainstFile(t *testing.T) {
+	dir := t.TempDir()
+	base := rep(Record{Kind: "spmv", Matrix: "banded", Format: "CSR", NsPerOp: 100})
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ok := rep(Record{Kind: "spmv", Matrix: "banded", Format: "CSR", NsPerOp: 101})
+	if failed, err := runCompare(path, ok, 0.25); err != nil || failed {
+		t.Errorf("clean run reported failed=%v err=%v", failed, err)
+	}
+	bad := rep(Record{Kind: "spmv", Matrix: "banded", Format: "CSR", NsPerOp: 200})
+	if failed, err := runCompare(path, bad, 0.25); err != nil || !failed {
+		t.Errorf("2x regression reported failed=%v err=%v", failed, err)
+	}
+	// A baseline with no overlapping keys is an error, not a silent pass.
+	alien := rep(Record{Kind: "spmv", Matrix: "other", Format: "ELL", NsPerOp: 1})
+	if _, err := runCompare(path, alien, 0.25); err == nil {
+		t.Error("disjoint baseline did not error")
+	}
+	if _, err := runCompare(filepath.Join(dir, "missing.json"), ok, 0.25); err == nil {
+		t.Error("missing baseline file did not error")
+	}
+}

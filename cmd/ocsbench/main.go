@@ -95,12 +95,14 @@ func measure(minTime time.Duration, f func()) (nsPerOp float64, iters int) {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_spmv.json", "output JSON path")
+	out := flag.String("out", "BENCH_spmv.json", "output JSON path (empty = don't write)")
 	size := flag.Int("size", 20000, "matrix dimension for generated families")
 	degree := flag.Int("degree", 10, "average row degree for generated families")
 	seed := flag.Int64("seed", 9, "matrix generator seed")
 	minTime := flag.Duration("mintime", 30*time.Millisecond, "minimum sampling time per measurement")
 	procs := flag.Int("procs", 0, "GOMAXPROCS for the parallel measurements (0 = max(NumCPU, 4))")
+	compare := flag.String("compare", "", "baseline JSON to diff this run against; exit 1 on dispatch/spmv regressions")
+	threshold := flag.Float64("threshold", 0.25, "fractional ns/op growth tolerated by -compare")
 	flag.Parse()
 
 	// Raise GOMAXPROCS to at least 4 by default: on single-core machines the
@@ -138,17 +140,28 @@ func main() {
 		report.Records = append(report.Records, convertRecords(*minTime, fam.String(), a, maxProcs)...)
 	}
 
-	data, err := json.MarshalIndent(&report, "", "  ")
-	if err != nil {
-		log.Fatal(err)
+	if *out != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d, NumCPU=%d)\n",
+			len(report.Records), *out, maxProcs, report.NumCPU)
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d, NumCPU=%d)\n",
-		len(report.Records), *out, maxProcs, report.NumCPU)
 	printSummary(&report)
+	if *compare != "" {
+		failed, err := runCompare(*compare, &report, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
 }
 
 // dispatchRecords times raw dispatch overhead: the same streaming body run

@@ -1,0 +1,75 @@
+package check
+
+import (
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// decodeLimits bound what a fuzz input can ask for, keeping each fuzz
+// execution fast while still reaching every structural edge case (empty
+// rows, dense rows, tile/slice boundaries).
+const (
+	decodeMaxRows    = 48
+	decodeMaxCols    = 48
+	decodeMaxEntries = 4096
+)
+
+// DecodeCSR deterministically maps arbitrary bytes onto a small, valid,
+// duplicate-free CSR matrix with no stored zeros — the preconditions the
+// differential oracle needs. The mapping is designed so the fuzzer's
+// byte-level mutations translate into structural mutations:
+//
+//	data[0]        → rows in [1, decodeMaxRows]
+//	data[1]        → cols in [1, decodeMaxCols]
+//	data[2:]       → entries, 4 bytes each: (row, col, value-hi, value-lo)
+//
+// Row and column bytes are reduced modulo the dimensions, so every byte
+// string decodes to a structurally valid matrix; duplicates overwrite
+// (never sum — summing could cancel to a stored zero and break the padded
+// formats' round-trip bit-identity) and a decoded value of 0 becomes 1.
+// Returns nil when fewer than 2 bytes are available.
+func DecodeCSR(data []byte) *sparse.CSR {
+	if len(data) < 2 {
+		return nil
+	}
+	rows := 1 + int(data[0])%decodeMaxRows
+	cols := 1 + int(data[1])%decodeMaxCols
+	data = data[2:]
+
+	type key struct{ r, c int }
+	vals := make(map[key]float64)
+	for i := 0; i+4 <= len(data) && len(vals) < decodeMaxEntries; i += 4 {
+		r := int(data[i]) % rows
+		c := int(data[i+1]) % cols
+		raw := int16(uint16(data[i+2])<<8 | uint16(data[i+3]))
+		v := float64(raw) / 256
+		if v == 0 {
+			v = 1
+		}
+		vals[key{r, c}] = v
+	}
+
+	perRow := make([][]int, rows)
+	for k := range vals {
+		perRow[k.r] = append(perRow[k.r], k.c)
+	}
+	ptr := make([]int, rows+1)
+	var col []int32
+	var dat []float64
+	for i := 0; i < rows; i++ {
+		sort.Ints(perRow[i])
+		for _, c := range perRow[i] {
+			col = append(col, int32(c))
+			dat = append(dat, vals[key{i, c}])
+		}
+		ptr[i+1] = len(dat)
+	}
+	a, err := sparse.NewCSR(rows, cols, ptr, col, dat)
+	if err != nil {
+		// The construction above cannot violate CSR invariants; treat a
+		// failure as a bug in this decoder, which the fuzz target should see.
+		panic("check: DecodeCSR built an invalid CSR: " + err.Error())
+	}
+	return a
+}

@@ -1,0 +1,17 @@
+package check
+
+import (
+	"os"
+	"runtime"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS so the {1, 2, max} worker sweep actually has a
+// "max" distinct from 2 even on single-CPU machines; without this the
+// parallel conversion and SpMV paths silently take their serial fallbacks.
+func TestMain(m *testing.M) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}

@@ -1,10 +1,9 @@
 package core
 
 import (
-	"time"
-
 	"repro/internal/features"
 	"repro/internal/sparse"
+	"repro/internal/timing"
 )
 
 // Stats records what the adaptive wrapper did during one run, for the
@@ -46,6 +45,7 @@ type Adaptive struct {
 	preds    *Predictors
 	tol      float64
 	parallel bool
+	clock    timing.Clock
 
 	csr *sparse.CSR
 	cur sparse.Matrix
@@ -78,11 +78,16 @@ func NewAdaptive(a *sparse.CSR, tol float64, preds *Predictors, cfg Config, para
 	if cfg.Tripcount.MaxIters <= 0 {
 		cfg.Tripcount = DefaultConfig().Tripcount
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = timing.WallClock{}
+	}
 	return &Adaptive{
 		cfg:      cfg,
 		preds:    preds,
 		tol:      tol,
 		parallel: parallel,
+		clock:    clock,
 		csr:      a,
 		cur:      a,
 		stats:    Stats{Format: sparse.FmtCSR},
@@ -93,8 +98,9 @@ func NewAdaptive(a *sparse.CSR, tol float64, preds *Predictors, cfg Config, para
 func (ad *Adaptive) Dims() (int, int) { return ad.csr.Dims() }
 
 // SpMV computes y = A*x on whichever format the matrix currently has.
-// Until the pipeline decision the calls are timed (two time.Now calls,
-// nanoseconds of overhead) so the gate can reason in SpMV units.
+// Until the pipeline decision the calls are timed (two clock observations,
+// nanoseconds of overhead on the wall clock) so the gate can reason in SpMV
+// units.
 func (ad *Adaptive) SpMV(y, x []float64) {
 	if ad.decided {
 		if ad.parallel {
@@ -104,13 +110,13 @@ func (ad *Adaptive) SpMV(y, x []float64) {
 		}
 		return
 	}
-	start := time.Now()
+	start := ad.clock.Now()
 	if ad.parallel {
 		ad.cur.SpMVParallel(y, x)
 	} else {
 		ad.cur.SpMV(y, x)
 	}
-	ad.spmvSeconds += time.Since(start).Seconds()
+	ad.spmvSeconds += timing.Since(ad.clock, start).Seconds()
 	ad.spmvCalls++
 }
 
@@ -132,9 +138,9 @@ func (ad *Adaptive) runPipeline() {
 	// Stage 1: lazy-and-light tripcount prediction from the progress
 	// series. Its cost is a handful of scalar ops — the paper measures ~2ms
 	// for its ARIMA, ours is cheaper still — but we time it anyway.
-	start := time.Now()
+	start := ad.clock.Now()
 	total, err := ad.cfg.Tripcount.PredictTotal(ad.progress, ad.tol)
-	ad.stats.PredictSeconds += time.Since(start).Seconds()
+	ad.stats.PredictSeconds += timing.Since(ad.clock, start).Seconds()
 	ad.stats.Stage1Ran = true
 	if err != nil {
 		return
@@ -163,23 +169,23 @@ func (ad *Adaptive) runPipeline() {
 
 	// Stage 2: feature extraction (the dominant prediction overhead), model
 	// inference, cost-benefit argmin.
-	start = time.Now()
+	start = ad.clock.Now()
 	fs := features.Extract(ad.csr)
 	bsrBlocks := features.CountBlocks(ad.csr, ad.cfg.Lim.BSRBlockSize)
-	ad.stats.FeatureSeconds = time.Since(start).Seconds()
+	ad.stats.FeatureSeconds = timing.Since(ad.clock, start).Seconds()
 
-	start = time.Now()
+	start = ad.clock.Now()
 	d := ad.preds.Decide(fs, bsrBlocks, float64(remaining), ad.cfg.Lim, ad.cfg.Margin)
-	ad.stats.PredictSeconds += time.Since(start).Seconds()
+	ad.stats.PredictSeconds += timing.Since(ad.clock, start).Seconds()
 	ad.stats.Stage2Ran = true
 	ad.stats.Decision = d
 	if d.Format == sparse.FmtCSR {
 		return
 	}
 
-	start = time.Now()
+	start = ad.clock.Now()
 	m, err := sparse.ConvertFromCSR(ad.csr, d.Format, ad.cfg.Lim)
-	ad.stats.ConvertSeconds = time.Since(start).Seconds()
+	ad.stats.ConvertSeconds = timing.Since(ad.clock, start).Seconds()
 	if err != nil {
 		// The validity pre-check should prevent this; fall back to CSR.
 		return

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -201,7 +202,12 @@ func TestAdaptiveGateBlocksNearlyDoneLoop(t *testing.T) {
 func TestAdaptiveLongLoopConvertsBanded(t *testing.T) {
 	preds := predictors(t)
 	m := genCSR(t, matgen.FamBanded, 4000, 7)
-	ad := core.NewAdaptive(m, 1e-8, preds, core.DefaultConfig(), false)
+	// Fake clock: the overhead assertions below are exact, not "> 0".
+	clk := timing.NewFakeClock()
+	clk.SetAutoStep(time.Millisecond)
+	cfg := core.DefaultConfig()
+	cfg.Clock = clk
+	ad := core.NewAdaptive(m, 1e-8, preds, cfg, false)
 	// Slow convergence: 0.995x per iteration needs ~6600 more iterations.
 	r := 1.0
 	for i := 0; i < 20; i++ {
@@ -233,15 +239,21 @@ func TestAdaptiveLongLoopConvertsBanded(t *testing.T) {
 			t.Fatalf("post-conversion SpMV differs at %d: %g vs %g", i, y[i], want[i])
 		}
 	}
-	if ad.OverheadSeconds() <= 0 {
-		t.Error("no overhead recorded despite conversion")
+	// Four timed regions (stage-1 predict, features, decide, convert) at
+	// 1ms of scripted clock each.
+	if got := ad.OverheadSeconds(); got != 0.004 {
+		t.Errorf("OverheadSeconds = %g, want exactly 0.004", got)
 	}
 }
 
 func TestAdaptivePipelineRunsOnce(t *testing.T) {
 	preds := predictors(t)
 	m := genCSR(t, matgen.FamBanded, 2000, 8)
-	ad := core.NewAdaptive(m, 1e-8, preds, core.DefaultConfig(), false)
+	clk := timing.NewFakeClock()
+	clk.SetAutoStep(time.Millisecond)
+	cfg := core.DefaultConfig()
+	cfg.Clock = clk
+	ad := core.NewAdaptive(m, 1e-8, preds, cfg, false)
 	r := 1.0
 	for i := 0; i < 100; i++ {
 		r *= 0.995
@@ -251,12 +263,15 @@ func TestAdaptivePipelineRunsOnce(t *testing.T) {
 	if st.Iterations != 100 {
 		t.Errorf("iterations %d", st.Iterations)
 	}
-	// FeatureSeconds is set once; if the pipeline re-ran it would grow.
-	f1 := st.FeatureSeconds
+	// Under the fake clock a single pipeline run charges exactly one 1ms
+	// region to feature extraction; a re-run would double it.
+	if st.FeatureSeconds != 0.001 {
+		t.Errorf("FeatureSeconds = %g, want exactly 0.001", st.FeatureSeconds)
+	}
 	for i := 0; i < 50; i++ {
 		ad.RecordProgress(r)
 	}
-	if ad.Stats().FeatureSeconds != f1 {
+	if ad.Stats().FeatureSeconds != 0.001 {
 		t.Error("pipeline ran more than once")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/gbt"
 	"repro/internal/sparse"
+	"repro/internal/timing"
 )
 
 // Config holds the selector's knobs. The defaults (K = TH = 15) are the
@@ -62,6 +63,12 @@ type Config struct {
 	Lim sparse.Limits
 	// Tripcount configures the stage-1 ARIMA predictor.
 	Tripcount arima.Tripcount
+	// Clock supplies the timestamps the wrapper's self-measurements and the
+	// overhead accounting are computed from; nil means the wall clock.
+	// Injecting a timing.FakeClock makes every timing-gated decision (the
+	// stage-2 overhead gate in particular) reproducible under any machine
+	// load — the selector replay tests in replay_test.go rely on this.
+	Clock timing.Clock
 }
 
 // DefaultConfig mirrors the paper's empirical settings plus a 10% decision

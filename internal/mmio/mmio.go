@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -161,10 +162,21 @@ func ReadNamed(r io.Reader, name string) (*sparse.CSR, error) {
 	if rows < 0 || cols < 0 || nnz < 0 {
 		return nil, lr.fail(nil, "negative sizes %d %d %d", rows, cols, nnz)
 	}
+	if rows > math.MaxInt32 || cols > math.MaxInt32 {
+		return nil, lr.fail(nil, "dimensions %dx%d exceed the int32 index range", rows, cols)
+	}
 
-	ri := make([]int32, 0, nnz)
-	ci := make([]int32, 0, nnz)
-	vv := make([]float64, 0, nnz)
+	// The declared nnz is untrusted input: cap the preallocation hint so a
+	// header claiming billions of entries cannot allocate gigabytes before
+	// a single entry line has been read. append grows past the hint if the
+	// entries really do arrive.
+	hint := nnz
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	ri := make([]int32, 0, hint)
+	ci := make([]int32, 0, hint)
+	vv := make([]float64, 0, hint)
 	read := 0
 	for read < nnz {
 		if !lr.scan() {

@@ -1,0 +1,108 @@
+package timing
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time.Now so every timed region in the selector and the
+// measuring oracle can be driven by a deterministic fake in tests. The
+// production implementation is WallClock; tests inject a *FakeClock whose
+// advance per observation is scripted, which makes timing-gated decisions
+// (the stage-2 overhead gate, the measured oracle's medians) reproducible
+// byte-for-byte regardless of machine load.
+type Clock interface {
+	// Now returns the current time. Implementations must be safe for
+	// concurrent use.
+	Now() time.Time
+}
+
+// WallClock is the production Clock backed by time.Now.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Since returns the elapsed time between t and c.Now(). It is the
+// clock-injected replacement for time.Since.
+func Since(c Clock, t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// orWall returns c, defaulting to the wall clock when nil, so zero-value
+// configurations keep their historical behavior.
+func orWall(c Clock) Clock {
+	if c == nil {
+		return WallClock{}
+	}
+	return c
+}
+
+// FakeClock is a deterministic Clock for tests. Every Now call returns the
+// current fake time and then advances it: by the next scripted duration if
+// one is queued (Script), otherwise by the fixed auto-step (SetAutoStep,
+// default 0). Because a timed region is bracketed by two Now calls
+// (start := c.Now(); work; Since(c, start)), the region measures exactly
+// the duration consumed by its opening call — so a test that sets an
+// auto-step s observes every timed region as taking exactly s, and a test
+// that scripts [a, 0, b, 0] observes its first region as a and its second
+// as b, independent of how long the work really took.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	step   time.Duration
+	script []time.Duration
+	calls  int
+}
+
+// fakeEpoch is an arbitrary fixed origin so fake timestamps are stable
+// across runs (and trivially distinguishable from wall-clock times).
+var fakeEpoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// NewFakeClock returns a fake clock at a fixed epoch with auto-step 0.
+func NewFakeClock() *FakeClock { return &FakeClock{now: fakeEpoch} }
+
+// Now implements Clock: it returns the current fake time, then advances it
+// by the next scripted duration (or the auto-step when the script is empty).
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	d := c.step
+	if len(c.script) > 0 {
+		d = c.script[0]
+		c.script = c.script[1:]
+	}
+	c.now = c.now.Add(d)
+	c.calls++
+	return t
+}
+
+// SetAutoStep sets the duration the clock advances on every Now call that
+// has no scripted duration queued.
+func (c *FakeClock) SetAutoStep(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.step = d
+}
+
+// Script queues durations consumed one per Now call before the auto-step
+// resumes. Successive calls append.
+func (c *FakeClock) Script(ds ...time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.script = append(c.script, ds...)
+}
+
+// Advance moves the clock forward without consuming a Now observation.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// NowCalls reports how many times Now has been observed, letting tests
+// assert exactly how many timed regions ran.
+func (c *FakeClock) NowCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}

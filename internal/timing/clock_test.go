@@ -1,0 +1,122 @@
+package timing
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sparse"
+)
+
+func TestFakeClockAutoStep(t *testing.T) {
+	c := NewFakeClock()
+	c.SetAutoStep(5 * time.Millisecond)
+	t0 := c.Now()
+	t1 := c.Now()
+	if d := t1.Sub(t0); d != 5*time.Millisecond {
+		t.Errorf("auto-step advance %v, want 5ms", d)
+	}
+	// A timed region measures exactly the auto-step, regardless of work.
+	start := c.Now()
+	if d := Since(c, start); d != 5*time.Millisecond {
+		t.Errorf("region measured %v, want 5ms", d)
+	}
+	if c.NowCalls() != 4 {
+		t.Errorf("NowCalls %d, want 4", c.NowCalls())
+	}
+}
+
+func TestFakeClockScriptThenAutoStep(t *testing.T) {
+	c := NewFakeClock()
+	c.SetAutoStep(time.Microsecond)
+	c.Script(3*time.Millisecond, 0, 7*time.Millisecond)
+	// Region 1 consumes the 3ms script step at its opening Now and the 0
+	// at its closing Now, so region 2 opens unshifted and measures 7ms.
+	s1 := c.Now()
+	d1 := Since(c, s1)
+	s2 := c.Now()
+	d2 := Since(c, s2)
+	if d1 != 3*time.Millisecond || d2 != 7*time.Millisecond {
+		t.Errorf("scripted regions measured %v, %v; want 3ms, 7ms", d1, d2)
+	}
+	// Script exhausted: back to the auto-step.
+	s3 := c.Now()
+	if d := Since(c, s3); d != time.Microsecond {
+		t.Errorf("post-script region measured %v, want 1µs", d)
+	}
+}
+
+func TestFakeClockAdvance(t *testing.T) {
+	c := NewFakeClock()
+	t0 := c.Now()
+	c.Advance(time.Hour)
+	if d := c.Now().Sub(t0); d != time.Hour {
+		t.Errorf("Advance moved %v, want 1h", d)
+	}
+}
+
+func TestMeasureUsesInjectedClock(t *testing.T) {
+	c := NewFakeClock()
+	c.SetAutoStep(2 * time.Millisecond)
+	ran := false
+	secs := Measure(c, func() { ran = true })
+	if !ran {
+		t.Fatal("Measure did not run fn")
+	}
+	if secs != 0.002 {
+		t.Errorf("Measure = %g s, want exactly 0.002", secs)
+	}
+	// nil clock falls back to the wall clock and still runs fn.
+	if s := Measure(nil, func() {}); s < 0 {
+		t.Errorf("wall-clock Measure negative: %g", s)
+	}
+}
+
+// TestMeasuredOracleScriptedClock checks that the measuring oracle becomes
+// fully deterministic under a fake clock: every measurement (conversion,
+// SpMV, features) reports exactly the scripted auto-step.
+func TestMeasuredOracleScriptedClock(t *testing.T) {
+	c := NewFakeClock()
+	c.SetAutoStep(4 * time.Millisecond)
+	opt := DefaultMeasureOptions()
+	opt.Reps = 3
+	opt.Clock = c
+	o := NewMeasuredOracle(opt)
+
+	a := testTriDiag(t, 64)
+	if s, ok := o.ConvertTime(a, sparse.FmtELL); !ok || s != 0.004 {
+		t.Errorf("ConvertTime = %g, %v; want exactly 0.004, true", s, ok)
+	}
+	if s, ok := o.SpMVTime(a, sparse.FmtELL); !ok || s != 0.004 {
+		t.Errorf("SpMVTime = %g, %v; want exactly 0.004, true", s, ok)
+	}
+	if s := o.FeatureTime(a); s != 0.004 {
+		t.Errorf("FeatureTime = %g, want exactly 0.004", s)
+	}
+	// CSR conversion is free by definition, fake clock or not.
+	if s, ok := o.ConvertTime(a, sparse.FmtCSR); !ok || s != 0 {
+		t.Errorf("CSR ConvertTime = %g, %v; want 0, true", s, ok)
+	}
+}
+
+// testTriDiag builds a small tridiagonal CSR for clock tests.
+func testTriDiag(t *testing.T, n int) *sparse.CSR {
+	t.Helper()
+	ptr := make([]int, n+1)
+	var col []int32
+	var data []float64
+	for i := 0; i < n; i++ {
+		for j := i - 1; j <= i+1; j++ {
+			if j < 0 || j >= n {
+				continue
+			}
+			col = append(col, int32(j))
+			data = append(data, 1+float64(i+j)*0.01)
+		}
+		ptr[i+1] = len(data)
+	}
+	m, err := sparse.NewCSR(n, n, ptr, col, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -10,7 +10,6 @@ package timing
 import (
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/features"
 	"repro/internal/sparse"
@@ -40,6 +39,10 @@ type MeasureOptions struct {
 	Parallel bool
 	// Lim bounds format conversions.
 	Lim sparse.Limits
+	// Clock supplies the timestamps measurements are computed from; nil
+	// means the wall clock. Tests inject a *FakeClock to script exact
+	// measured durations.
+	Clock Clock
 }
 
 // DefaultMeasureOptions: 5 reps, parallel kernels, default limits.
@@ -52,6 +55,7 @@ func DefaultMeasureOptions() MeasureOptions {
 // matching the immutability convention of sparse matrices.
 type MeasuredOracle struct {
 	opt MeasureOptions
+	clk Clock
 
 	mu       sync.Mutex
 	spmv     map[cacheKey]timedResult
@@ -77,6 +81,7 @@ func NewMeasuredOracle(opt MeasureOptions) *MeasuredOracle {
 	}
 	return &MeasuredOracle{
 		opt:      opt,
+		clk:      orWall(opt.Clock),
 		spmv:     make(map[cacheKey]timedResult),
 		conv:     make(map[cacheKey]timedResult),
 		feat:     make(map[*sparse.CSR]float64),
@@ -87,13 +92,21 @@ func NewMeasuredOracle(opt MeasureOptions) *MeasuredOracle {
 // Limits implements Oracle.
 func (o *MeasuredOracle) Limits() sparse.Limits { return o.opt.Lim }
 
-// Median of reps timings of fn, in seconds.
-func medianTime(reps int, fn func()) float64 {
+// Measure times one call of fn on the given clock, in seconds. It is the
+// single timed region every oracle measurement goes through, so injecting a
+// fake clock here makes the whole measurement pipeline deterministic.
+func Measure(clk Clock, fn func()) float64 {
+	clk = orWall(clk)
+	start := clk.Now()
+	fn()
+	return Since(clk, start).Seconds()
+}
+
+// medianTime reports the median of reps timings of fn on clk, in seconds.
+func medianTime(clk Clock, reps int, fn func()) float64 {
 	times := make([]float64, reps)
 	for i := range times {
-		start := time.Now()
-		fn()
-		times[i] = time.Since(start).Seconds()
+		times[i] = Measure(clk, fn)
 	}
 	sort.Float64s(times)
 	return times[reps/2]
@@ -135,7 +148,7 @@ func (o *MeasuredOracle) measureConvert(a *sparse.CSR, f sparse.Format) timedRes
 		return r
 	}
 	var last sparse.Matrix
-	secs := medianTime(o.opt.Reps, func() {
+	secs := medianTime(o.clk, o.opt.Reps, func() {
 		m, err := sparse.ConvertFromCSR(a, f, o.opt.Lim)
 		if err != nil {
 			last = nil
@@ -189,7 +202,7 @@ func (o *MeasuredOracle) SpMVTime(a *sparse.CSR, f sparse.Format) (float64, bool
 	} else {
 		m.SpMV(y, x)
 	}
-	secs := medianTime(o.opt.Reps, func() {
+	secs := medianTime(o.clk, o.opt.Reps, func() {
 		if o.opt.Parallel {
 			m.SpMVParallel(y, x)
 		} else {
@@ -211,7 +224,7 @@ func (o *MeasuredOracle) FeatureTime(a *sparse.CSR) float64 {
 		return s
 	}
 	o.mu.Unlock()
-	secs := medianTime(o.opt.Reps, func() { features.Extract(a) })
+	secs := medianTime(o.clk, o.opt.Reps, func() { features.Extract(a) })
 	o.mu.Lock()
 	o.feat[a] = secs
 	o.mu.Unlock()
