@@ -20,9 +20,14 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/gbt"
 	"repro/internal/matgen"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
+	"repro/internal/timing"
+	"repro/internal/trainer"
 )
 
 // Record is one timed measurement.
@@ -103,7 +108,15 @@ func main() {
 	procs := flag.Int("procs", 0, "GOMAXPROCS for the parallel measurements (0 = max(NumCPU, 4))")
 	compare := flag.String("compare", "", "baseline JSON to diff this run against; exit 1 on dispatch/spmv regressions")
 	threshold := flag.Float64("threshold", 0.25, "fractional ns/op growth tolerated by -compare")
+	trace := flag.Bool("trace", false, "skip the benchmarks; run the adaptive selector on each bench matrix and print its decision trace")
 	flag.Parse()
+
+	if *trace {
+		if err := traceSelections(*size, *degree, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	// Raise GOMAXPROCS to at least 4 by default: on single-core machines the
 	// parallel entry points would otherwise take their serial fallback and
@@ -256,6 +269,63 @@ func workerCounts(max int) []int {
 		return []int{1}
 	}
 	return []int{1, max}
+}
+
+// traceSelections exercises the overhead-conscious selector on each bench
+// family with the wall clock doing the timing, then prints the decision
+// traces — stage-1 forecast, every gate inequality, stage-2 predictions, and
+// the T_affected ledger comparing measured post-decision SpMV times against
+// the model's promise. Predictors come from a quick model-oracle training
+// pass (no wall-clock measurement, a few seconds).
+func traceSelections(size, degree int, seed int64) error {
+	fmt.Println("-- selector decision traces --")
+	entries, err := matgen.Corpus(matgen.CorpusConfig{Count: 48, Seed: seed + 1, MinSize: 500, MaxSize: 3000})
+	if err != nil {
+		return err
+	}
+	samples, err := trainer.Collect(entries, timing.NewModelOracle())
+	if err != nil {
+		return err
+	}
+	preds, err := trainer.Train(samples, gbt.DefaultParams(), 5)
+	if err != nil {
+		return err
+	}
+	journal := obs.NewJournal(0)
+	for _, fam := range []matgen.Family{matgen.FamBanded, matgen.FamRandom, matgen.FamPowerLaw, matgen.FamBlock} {
+		a, err := matgen.Generate(matgen.Spec{
+			Name: fam.String(), Family: fam, Size: size, Degree: degree, Seed: seed,
+		})
+		if err != nil {
+			continue
+		}
+		cfg := core.DefaultConfig()
+		cfg.Journal = journal
+		cfg.TraceLabel = fam.String()
+		// A synthetic geometric convergence loop: progress 0.8^k against
+		// tol 1e-8 crosses at ~83 iterations, comfortably past the K=15 and
+		// TH=15 gates, so stage 2 always gets its chance while the SpMV
+		// timings in the trace stay real kernel measurements.
+		ad := core.NewAdaptive(a, 1e-8, preds, cfg, true)
+		rows, cols := a.Dims()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = 1
+		}
+		y := make([]float64, rows)
+		progress := 1.0
+		for it := 0; it < 120; it++ {
+			ad.SpMV(y, x)
+			progress *= 0.8
+			ad.RecordProgress(progress)
+		}
+		if id, ok := ad.TraceID(); ok {
+			if tr, found := journal.Get(id); found {
+				fmt.Print(tr.Render())
+			}
+		}
+	}
+	return nil
 }
 
 // printSummary prints the headline comparisons: team-vs-spawn dispatch

@@ -10,9 +10,13 @@
 //	GET    /v1/matrices/{id}      stats: format, selector decisions, overhead seconds
 //	POST   /v1/matrices/{id}/spmv batched y = A*x
 //	POST   /v1/matrices/{id}/solve CG/PCG/BiCGSTAB/GMRES/Jacobi/power/PageRank
+//	GET    /v1/trace/{id}         the handle's decision trace + live T_affected ledger
 //	DELETE /v1/matrices/{id}      unregister
 //	GET    /healthz               liveness (503 while draining)
-//	GET    /metrics               JSON counters
+//	GET    /metrics               Prometheus text exposition (?format=json for legacy JSON)
+//	GET    /buildinfo             module version, VCS revision, Go version, GOMAXPROCS
+//	GET    /debug/decisions       recent decision traces as JSON (?n= bounds the count)
+//	GET    /debug/pprof/          net/http/pprof (only with -pprof)
 //
 // Run with trained predictors for real format selection:
 //
@@ -27,8 +31,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,33 +57,42 @@ func main() {
 		solveTimeout = flag.Duration("timeout", 60*time.Second, "default solve timeout")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		serial       = flag.Bool("serial", false, "use serial SpMV kernels (pool provides the parallelism)")
+		journalCap   = flag.Int("journal", 0, "decision journal capacity (0 = default)")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger := newLogger(*logJSON, *logLevel)
 
 	var preds *core.Predictors
 	switch {
 	case *modelsDir != "" && *train:
-		log.Fatal("ocsd: -models and -train are mutually exclusive")
+		logger.Error("-models and -train are mutually exclusive")
+		os.Exit(1)
 	case *modelsDir != "":
 		p, err := ocs.LoadPredictors(*modelsDir)
 		if err != nil {
-			log.Fatalf("ocsd: loading predictors: %v", err)
+			logger.Error("loading predictors failed", "dir", *modelsDir, "error", err)
+			os.Exit(1)
 		}
 		preds = p
-		log.Printf("loaded predictors from %s", *modelsDir)
+		logger.Info("predictors loaded", "dir", *modelsDir)
 	case *train:
-		log.Printf("training default predictors (seed %d), this takes tens of seconds...", *seed)
+		logger.Info("training default predictors, this takes tens of seconds...", "seed", *seed)
 		p, err := ocs.TrainDefaultPredictors(*seed)
 		if err != nil {
-			log.Fatalf("ocsd: training predictors: %v", err)
+			logger.Error("training predictors failed", "error", err)
+			os.Exit(1)
 		}
 		preds = p
 		if err := preds.Validate(); err != nil {
-			log.Printf("warning: %v", err)
+			logger.Warn("predictor bundle incomplete", "error", err)
 		}
-		log.Printf("training done")
+		logger.Info("training done")
 	default:
-		log.Printf("no predictors (-models/-train): stage 2 disabled, matrices stay on CSR")
+		logger.Info("no predictors (-models/-train): stage 2 disabled, matrices stay on CSR")
 	}
 	srv := server.New(server.Config{
 		MaxRegistryNNZ:      *maxNNZ,
@@ -89,6 +101,9 @@ func main() {
 		DefaultSolveTimeout: *solveTimeout,
 		Preds:               preds,
 		SerialKernels:       *serial,
+		JournalCapacity:     *journalCap,
+		EnablePprof:         *enablePprof,
+		Logger:              logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -98,7 +113,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("ocsd listening on %s (%d workers, registry %d nnz)", *addr, *workers, *maxNNZ)
+		logger.Info("ocsd listening", "addr", *addr, "workers", *workers, "registry_nnz", *maxNNZ, "pprof", *enablePprof)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -106,18 +121,35 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatalf("ocsd: %v", err)
+		logger.Error("listener failed", "error", err)
+		os.Exit(1)
 	case sig := <-sigCh:
-		log.Printf("received %v, draining in-flight work (budget %v)...", sig, *drainWait)
+		logger.Info("draining in-flight work", "signal", sig.String(), "budget", drainWait.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := srv.Drain(ctx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "error", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown error", "error", err)
 	}
-	fmt.Println("ocsd stopped")
+	logger.Info("ocsd stopped")
+}
+
+// newLogger builds the process logger from the -log-json/-log-level flags.
+func newLogger(asJSON bool, level string) *slog.Logger {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if asJSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h)
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/gbt"
 	"repro/internal/matgen"
 	"repro/internal/mmio"
+	"repro/internal/obs"
 	"repro/internal/timing"
 	"repro/internal/trainer"
 )
@@ -94,6 +95,7 @@ func cmdRun(args []string) error {
 	app := fs.String("app", "cg", "application: pagerank, cg, bicgstab, gmres")
 	models := fs.String("models", "", "predictor model directory (enables -adaptive)")
 	adaptive := fs.Bool("adaptive", false, "use the overhead-conscious selector")
+	trace := fs.Bool("trace", false, "print the selector's decision trace (with -adaptive)")
 	tol := fs.Float64("tol", 1e-8, "solver tolerance")
 	seed := fs.Int64("seed", 1, "rhs seed")
 	if err := fs.Parse(args); err != nil {
@@ -137,11 +139,18 @@ func cmdRun(args []string) error {
 	var ad *core.Adaptive
 	hook := apps.Hook(nil)
 	absTol := *tol * nrm2(b)
+	selCfg := core.DefaultConfig()
+	var journal *obs.Journal
+	if *trace {
+		journal = obs.NewJournal(0)
+		selCfg.Journal = journal
+		selCfg.TraceLabel = *matrixPath
+	}
 	if *adaptive {
 		if *app == "pagerank" {
 			absTol = apps.DefaultPageRankOptions().Tol
 		}
-		ad = core.NewAdaptive(a, absTol, preds, core.DefaultConfig(), true)
+		ad = core.NewAdaptive(a, absTol, preds, selCfg, true)
 		op = ad
 		hook = func(it int, p float64) { ad.RecordProgress(p) }
 	}
@@ -156,7 +165,7 @@ func cmdRun(args []string) error {
 		}
 		prOp := apps.Operator(apps.Par(p))
 		if *adaptive {
-			ad = core.NewAdaptive(p, apps.DefaultPageRankOptions().Tol, preds, core.DefaultConfig(), true)
+			ad = core.NewAdaptive(p, apps.DefaultPageRankOptions().Tol, preds, selCfg, true)
 			prOp = ad
 			hook = func(it int, pr float64) { ad.RecordProgress(pr) }
 		}
@@ -181,6 +190,15 @@ func cmdRun(args []string) error {
 		fmt.Printf("selector: stage1=%v stage2=%v converted=%v format=%v predictedTotal=%d overhead=%.3gms\n",
 			st.Stage1Ran, st.Stage2Ran, st.Converted, st.Format, st.PredictedTotal,
 			1e3*(st.FeatureSeconds+st.PredictSeconds+st.ConvertSeconds))
+	}
+	if journal != nil && ad != nil {
+		if id, ok := ad.TraceID(); ok {
+			if tr, found := journal.Get(id); found {
+				fmt.Print(tr.Render())
+			}
+		} else {
+			fmt.Println("trace: the selector pipeline never ran (loop shorter than K iterations?)")
+		}
 	}
 	return nil
 }

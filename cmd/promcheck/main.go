@@ -1,0 +1,44 @@
+// Command promcheck validates a Prometheus text exposition read from stdin
+// using the repo's own parser (internal/obs). It exits nonzero when the
+// input does not parse or holds fewer histogram families than -min-hist
+// requires. The CI smoke job pipes `curl /metrics` through it to prove the
+// daemon's exposition is really scrapeable.
+//
+//	curl -fsS localhost:8080/metrics | promcheck -min-hist 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	minHist := flag.Int("min-hist", 0, "minimum number of histogram families required")
+	flag.Parse()
+
+	body, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	fams, err := obs.ParseText(string(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: exposition invalid: %v\n", err)
+		os.Exit(1)
+	}
+	hist := 0
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			hist++
+		}
+	}
+	if hist < *minHist {
+		fmt.Fprintf(os.Stderr, "promcheck: %d histogram families, need >= %d\n", hist, *minHist)
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: %d families ok (%d histograms)\n", len(fams), hist)
+}

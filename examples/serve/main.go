@@ -111,7 +111,7 @@ func main() {
 		stats.SpMVCalls, stats.SolveCalls,
 		stats.Selector.FeatureSeconds+stats.Selector.PredictSeconds+stats.Selector.ConvertSeconds)
 	var metrics map[string]any
-	if err := get(base, "/metrics", &metrics); err != nil {
+	if err := get(base, "/metrics?format=json", &metrics); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("metrics: requests=%v solve_iterations=%v registry_nnz=%v\n",

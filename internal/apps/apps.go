@@ -32,6 +32,12 @@ type Result struct {
 	Converged bool
 	// Residual is the final progress indicator value.
 	Residual float64
+	// SpMVs is the exact number of SpMV calls the solver issued. It differs
+	// from Iterations where the method's structure does: BiCGSTAB pays two
+	// per iteration, restarted GMRES pays one per Arnoldi step plus one per
+	// restart for the explicit residual. Telemetry attributes per-format
+	// SpMV work from this count, not from an iterations-based approximation.
+	SpMVs int
 	// Progress is the full indicator trace, one entry per iteration.
 	Progress []float64
 	// X is the solution (or rank vector for PageRank).

@@ -59,6 +59,7 @@ func BiCGSTAB(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, er
 			p[i] = r[i] + beta*(p[i]-omega*v[i])
 		}
 		op.SpMV(v, p)
+		res.SpMVs++
 		den := vec.Dot(rhat, v)
 		if math.Abs(den) < 1e-300 {
 			record(iter, vec.Nrm2(r))
@@ -78,6 +79,7 @@ func BiCGSTAB(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, er
 			return res, nil
 		}
 		op.SpMV(t, s)
+		res.SpMVs++
 		tt := vec.Dot(t, t)
 		if tt < 1e-300 {
 			record(iter, snorm)

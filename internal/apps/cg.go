@@ -68,6 +68,7 @@ func CG(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error) {
 			return res, fmt.Errorf("apps: CG canceled at iteration %d: %w", iter, err)
 		}
 		op.SpMV(ap, p)
+		res.SpMVs++
 		pap := vec.Dot(p, ap)
 		if pap <= 0 {
 			// Not SPD (or numerical breakdown): stop with what we have.

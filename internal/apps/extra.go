@@ -44,6 +44,7 @@ func Jacobi(op Operator, diag, b []float64, omega float64, opt SolveOptions, hoo
 			return res, fmt.Errorf("apps: Jacobi canceled at iteration %d: %w", iter, err)
 		}
 		op.SpMV(ax, x)
+		res.SpMVs++
 		var rnorm float64
 		for i := range x {
 			r := b[i] - ax[i]
@@ -97,6 +98,7 @@ func PowerMethod(op Operator, opt SolveOptions, hook Hook) (PowerResult, error) 
 			return out, fmt.Errorf("apps: power method canceled at iteration %d: %w", iter, err)
 		}
 		op.SpMV(ax, x)
+		out.SpMVs++
 		newLambda := vec.Dot(x, ax)
 		norm := vec.Nrm2(ax)
 		if norm == 0 {

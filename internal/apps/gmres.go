@@ -55,6 +55,7 @@ func GMRES(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error
 	for totalIter < opt.MaxIters {
 		// r = b - A x
 		op.SpMV(r, x)
+		res.SpMVs++
 		vec.Sub(r, b, r)
 		beta := vec.Nrm2(r)
 		if beta <= opt.Tol*bnorm {
@@ -77,6 +78,7 @@ func GMRES(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error
 				return res, fmt.Errorf("apps: GMRES canceled at iteration %d: %w", totalIter+1, err)
 			}
 			op.SpMV(w, V[j])
+			res.SpMVs++
 			// Modified Gram-Schmidt.
 			for i := 0; i <= j; i++ {
 				h[i][j] = vec.Dot(w, V[i])

@@ -103,6 +103,7 @@ func PageRank(op Operator, dangling []bool, opt PageRankOptions, hook Hook) (Res
 			}
 		}
 		op.SpMV(next, x)
+		res.SpMVs++
 		teleport := ((1 - opt.Damping) + opt.Damping*danglingMass) / float64(n)
 		var delta float64
 		for i := range next {

@@ -81,6 +81,7 @@ func PCG(op Operator, m Preconditioner, b []float64, opt SolveOptions, hook Hook
 			return res, fmt.Errorf("apps: PCG canceled at iteration %d: %w", iter, err)
 		}
 		op.SpMV(ap, p)
+		res.SpMVs++
 		pap := vec.Dot(p, ap)
 		if pap <= 0 {
 			res.X = x

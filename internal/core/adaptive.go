@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/timing"
 )
@@ -11,6 +12,9 @@ import (
 type Stats struct {
 	// Iterations is the number of progress indicators observed.
 	Iterations int
+	// SpMVCalls is the total number of SpMV calls the wrapper has served,
+	// before and after the pipeline decision.
+	SpMVCalls int64
 	// Stage1Ran reports whether the lazy tripcount prediction fired.
 	Stage1Ran bool
 	// PredictedTotal is stage 1's tripcount estimate (0 if stage 1 never ran).
@@ -59,6 +63,13 @@ type Adaptive struct {
 	// judge whether stage 2's own cost can be amortized.
 	spmvSeconds float64
 	spmvCalls   int
+
+	// Decision-journal state: once the pipeline has run with a journal
+	// attached, traceID addresses this wrapper's obs.DecisionTrace and
+	// ledger is true while post-decision SpMV calls are still being timed
+	// to maintain the trace's T_affected ledger.
+	traceID uint64
+	ledger  bool
 }
 
 // NewAdaptive wraps a matrix in its default CSR format. tol is the
@@ -100,24 +111,37 @@ func (ad *Adaptive) Dims() (int, int) { return ad.csr.Dims() }
 // SpMV computes y = A*x on whichever format the matrix currently has.
 // Until the pipeline decision the calls are timed (two clock observations,
 // nanoseconds of overhead on the wall clock) so the gate can reason in SpMV
-// units.
+// units; once a decision trace exists, timing continues so its T_affected
+// ledger can compare the measured payoff against the model's promise.
 func (ad *Adaptive) SpMV(y, x []float64) {
-	if ad.decided {
-		if ad.parallel {
-			ad.cur.SpMVParallel(y, x)
-		} else {
-			ad.cur.SpMV(y, x)
-		}
+	ad.stats.SpMVCalls++
+	if ad.decided && !ad.ledger {
+		ad.run(y, x)
 		return
 	}
 	start := ad.clock.Now()
+	ad.run(y, x)
+	elapsed := timing.Since(ad.clock, start).Seconds()
+	if !ad.decided {
+		ad.spmvSeconds += elapsed
+		ad.spmvCalls++
+		return
+	}
+	// Post-decision: stream the observation into the journal's ledger.
+	if !ad.cfg.Journal.Update(ad.traceID, func(t *obs.DecisionTrace) {
+		t.Ledger.RecordPost(elapsed)
+	}) {
+		ad.ledger = false // trace evicted: stop paying for timing
+	}
+}
+
+// run executes one SpMV on the current format.
+func (ad *Adaptive) run(y, x []float64) {
 	if ad.parallel {
 		ad.cur.SpMVParallel(y, x)
 	} else {
 		ad.cur.SpMV(y, x)
 	}
-	ad.spmvSeconds += timing.Since(ad.clock, start).Seconds()
-	ad.spmvCalls++
 }
 
 // RecordProgress feeds one loop iteration's progress indicator (e.g. the
@@ -133,8 +157,20 @@ func (ad *Adaptive) RecordProgress(v float64) {
 	ad.runPipeline()
 }
 
-// runPipeline executes stage 1 and, if the gate opens, stage 2.
+// runPipeline executes stage 1 and, if the gate opens, stage 2. When a
+// journal is configured it also assembles the decision trace: every gate
+// inequality is recorded with both of its sides, so a trace shows how close
+// each call was, not just its verdict.
 func (ad *Adaptive) runPipeline() {
+	journaled := ad.cfg.Journal != nil
+	var tr obs.DecisionTrace
+	defer func() {
+		if journaled {
+			ad.traceID = ad.cfg.Journal.Append(tr)
+			ad.ledger = tr.Stage2Ran
+		}
+	}()
+
 	// Stage 1: lazy-and-light tripcount prediction from the progress
 	// series. Its cost is a handful of scalar ops — the paper measures ~2ms
 	// for its ARIMA, ours is cheaper still — but we time it anyway.
@@ -142,11 +178,23 @@ func (ad *Adaptive) runPipeline() {
 	total, err := ad.cfg.Tripcount.PredictTotal(ad.progress, ad.tol)
 	ad.stats.PredictSeconds += timing.Since(ad.clock, start).Seconds()
 	ad.stats.Stage1Ran = true
+	tr = obs.DecisionTrace{
+		Label:      ad.cfg.TraceLabel,
+		At:         start,
+		Iterations: len(ad.progress),
+		Chosen:     sparse.FmtCSR.String(),
+	}
 	if err != nil {
+		tr.Stage1Err = err.Error()
 		return
 	}
 	ad.stats.PredictedTotal = total
+	tr.PredictedTotal = total
 	remaining := total - len(ad.progress)
+	tr.Gates = append(tr.Gates, obs.GateCheck{
+		Name: "remaining>=TH", LHS: float64(remaining), RHS: float64(ad.cfg.TH),
+		Passed: remaining >= ad.cfg.TH,
+	})
 	if remaining < ad.cfg.TH {
 		return // loop predicted too short: conversion can't pay off
 	}
@@ -161,7 +209,12 @@ func (ad *Adaptive) runPipeline() {
 		if avgSpMV > 0 {
 			est := ad.cfg.PredictFixedSeconds + ad.cfg.FeatureSecondsPerNNZ*float64(ad.csr.NNZ())
 			overheadNorm := est / avgSpMV
-			if float64(remaining) < ad.cfg.GateOverheadFactor*overheadNorm {
+			threshold := ad.cfg.GateOverheadFactor * overheadNorm
+			tr.Gates = append(tr.Gates, obs.GateCheck{
+				Name: "remaining>=gate*overhead", LHS: float64(remaining), RHS: threshold,
+				Passed: float64(remaining) >= threshold,
+			})
+			if float64(remaining) < threshold {
 				return
 			}
 		}
@@ -179,7 +232,24 @@ func (ad *Adaptive) runPipeline() {
 	ad.stats.PredictSeconds += timing.Since(ad.clock, start).Seconds()
 	ad.stats.Stage2Ran = true
 	ad.stats.Decision = d
+	tr.Stage2Ran = true
+	tr.Chosen = d.Format.String()
+	if journaled {
+		tr.PredictedCostByFormat = formatKeyed(d.PredictedCost)
+		tr.PredictedSpMVNormByFormat = formatKeyed(d.PredictedSpMV)
+		tr.PredictedConvNormByFormat = formatKeyed(d.PredictedConv)
+		// The margin inequality the argmin applied: the cheapest non-CSR
+		// candidate had to undercut staying by Margin to win.
+		if alt, ok := bestAlternative(d); ok {
+			stay := float64(remaining) * (1 - ad.cfg.Margin)
+			tr.Gates = append(tr.Gates, obs.GateCheck{
+				Name: "stay_cost*(1-margin)>=best_alt", LHS: stay, RHS: alt,
+				Passed: d.Format != sparse.FmtCSR,
+			})
+		}
+	}
 	if d.Format == sparse.FmtCSR {
+		ad.finishTrace(&tr, d)
 		return
 	}
 
@@ -188,11 +258,68 @@ func (ad *Adaptive) runPipeline() {
 	ad.stats.ConvertSeconds = timing.Since(ad.clock, start).Seconds()
 	if err != nil {
 		// The validity pre-check should prevent this; fall back to CSR.
+		tr.ConvertErr = err.Error()
+		tr.Chosen = sparse.FmtCSR.String()
+		ad.finishTrace(&tr, d)
 		return
 	}
 	ad.cur = m
 	ad.stats.Converted = true
 	ad.stats.Format = d.Format
+	tr.Converted = true
+	ad.finishTrace(&tr, d)
+}
+
+// finishTrace fills the trace's measured-overhead fields and seeds the
+// ledger with the model-side quantities the payoff will be judged against.
+func (ad *Adaptive) finishTrace(tr *obs.DecisionTrace, d Decision) {
+	if ad.cfg.Journal == nil {
+		return
+	}
+	tr.FeatureSeconds = ad.stats.FeatureSeconds
+	tr.PredictSeconds = ad.stats.PredictSeconds
+	tr.ConvertSeconds = ad.stats.ConvertSeconds
+	var baseline float64
+	if ad.spmvCalls > 0 {
+		baseline = ad.spmvSeconds / float64(ad.spmvCalls)
+	}
+	// The format the wrapper actually runs on: the decision's pick, or CSR
+	// when conversion failed.
+	predictedNorm := 1.0
+	if ad.stats.Converted {
+		if v, ok := d.PredictedSpMV[d.Format]; ok {
+			predictedNorm = v
+		}
+	}
+	tr.Ledger.InitPredictions(baseline, predictedNorm, ad.OverheadSeconds(), ad.stats.Converted)
+}
+
+// formatKeyed re-keys a per-format map by the formats' names for the
+// JSON-facing trace.
+func formatKeyed(m map[sparse.Format]float64) map[string]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for f, v := range m {
+		out[f.String()] = v
+	}
+	return out
+}
+
+// bestAlternative returns the cheapest predicted non-CSR cost, if any
+// candidate survived validity checks.
+func bestAlternative(d Decision) (float64, bool) {
+	best, ok := 0.0, false
+	for f, c := range d.PredictedCost {
+		if f == sparse.FmtCSR {
+			continue
+		}
+		if !ok || c < best {
+			best, ok = c, true
+		}
+	}
+	return best, ok
 }
 
 // Stats returns a copy of the run's bookkeeping.
@@ -200,6 +327,10 @@ func (ad *Adaptive) Stats() Stats { return ad.stats }
 
 // Format returns the format SpMV currently runs on.
 func (ad *Adaptive) Format() sparse.Format { return ad.stats.Format }
+
+// TraceID returns the journal ID of this wrapper's decision trace, with
+// ok=false before the pipeline has run or when no journal is configured.
+func (ad *Adaptive) TraceID() (uint64, bool) { return ad.traceID, ad.traceID != 0 }
 
 // OverheadSeconds is the total measured selector overhead (T_predict +
 // T_convert) of this run.

@@ -138,10 +138,10 @@ func TestReplayGoldenTrace(t *testing.T) {
 		decay    float64
 		spmvCost time.Duration
 	}{
-		{"short-loop", 10, 0.1, time.Millisecond},        // < K: pipeline never fires
-		{"nearly-done", 16, 0.1, time.Millisecond},       // stage 1 predicts < TH remaining
+		{"short-loop", 10, 0.1, time.Millisecond},            // < K: pipeline never fires
+		{"nearly-done", 16, 0.1, time.Millisecond},           // stage 1 predicts < TH remaining
 		{"long-loop-slow-spmv", 20, 0.995, time.Microsecond}, // gate blocks stage 2
-		{"long-loop", 20, 0.995, time.Millisecond},       // full pipeline, converts
+		{"long-loop", 20, 0.995, time.Millisecond},           // full pipeline, converts
 		// A growing residual never crosses the tolerance, so stage 1
 		// pessimistically answers MaxIters — the selector treats a divergent
 		// loop as endless and converts just like the long loop.

@@ -73,3 +73,11 @@ func (s *SafeAdaptive) OverheadSeconds() float64 {
 	defer s.mu.Unlock()
 	return s.ad.OverheadSeconds()
 }
+
+// TraceID returns the journal ID of the wrapper's decision trace, with
+// ok=false before the pipeline has run or when no journal is configured.
+func (s *SafeAdaptive) TraceID() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ad.TraceID()
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/arima"
 	"repro/internal/features"
 	"repro/internal/gbt"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/timing"
 )
@@ -69,6 +70,16 @@ type Config struct {
 	// stage-2 overhead gate in particular) reproducible under any machine
 	// load — the selector replay tests in replay_test.go rely on this.
 	Clock timing.Clock
+	// Journal, when non-nil, receives one obs.DecisionTrace per pipeline
+	// run — stage-1 forecast, every gate inequality with both sides, the
+	// per-format stage-2 predictions, and measured overheads — and the
+	// wrapper keeps timing SpMV calls after the decision to maintain the
+	// trace's live T_affected ledger (realized vs. predicted payoff).
+	// nil (the default) disables tracing and the post-decision timing.
+	Journal *obs.Journal
+	// TraceLabel tags this wrapper's traces in the journal (e.g. the
+	// server's matrix handle name).
+	TraceLabel string
 }
 
 // DefaultConfig mirrors the paper's empirical settings plus a 10% decision
@@ -127,6 +138,15 @@ type Decision struct {
 	// Tconv_norm + Tspmv_norm * remaining (in units of CSR SpMV calls);
 	// invalid formats are absent.
 	PredictedCost map[sparse.Format]float64
+	// PredictedSpMV and PredictedConv are the raw (clamped) model outputs
+	// the costs were assembled from: normalized SpMV time and normalized
+	// conversion time per candidate format. CSR is present in PredictedSpMV
+	// with its defining value 1 and in PredictedConv with 0. Kept so the
+	// decision journal can show both regressors' verdicts, and so the
+	// T_affected ledger can compare the chosen format's predicted per-call
+	// time against what post-conversion SpMV calls actually measure.
+	PredictedSpMV map[sparse.Format]float64
+	PredictedConv map[sparse.Format]float64
 	// Remaining is the iteration count the costs were evaluated against.
 	Remaining float64
 }
@@ -163,6 +183,8 @@ func (p *Predictors) Decide(s *features.Set, bsrBlocks int, remaining float64, l
 	d := Decision{
 		Format:        sparse.FmtCSR,
 		PredictedCost: map[sparse.Format]float64{sparse.FmtCSR: remaining},
+		PredictedSpMV: map[sparse.Format]float64{sparse.FmtCSR: 1},
+		PredictedConv: map[sparse.Format]float64{sparse.FmtCSR: 0},
 		Remaining:     remaining,
 	}
 	best := remaining * (1 - margin)
@@ -188,6 +210,8 @@ func (p *Predictors) Decide(s *features.Set, bsrBlocks int, remaining float64, l
 		}
 		cost := conv + spmv*remaining
 		d.PredictedCost[f] = cost
+		d.PredictedSpMV[f] = spmv
+		d.PredictedConv[f] = conv
 		if cost < best {
 			best = cost
 			d.Format = f

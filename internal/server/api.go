@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // RegisterRequest is the body of POST /v1/matrices. Exactly one of
@@ -78,6 +79,9 @@ type MatrixInfo struct {
 	SpMVCalls  int64         `json:"spmv_calls"`
 	SolveCalls int64         `json:"solve_calls"`
 	Selector   SelectorStats `json:"selector"`
+	// TraceID addresses this handle's decision trace in the journal
+	// (GET /v1/trace/{matrix-id} resolves it); 0 until the pipeline runs.
+	TraceID uint64 `json:"trace_id,omitempty"`
 	// Evicted lists handles that were removed to make room; only set on
 	// the registration response.
 	Evicted []string `json:"evicted,omitempty"`
@@ -126,8 +130,11 @@ type SolveRequest struct {
 
 // SolveResponse summarizes a solve and the selector activity it drove.
 type SolveResponse struct {
-	App            string        `json:"app"`
-	Iterations     int           `json:"iterations"`
+	App        string `json:"app"`
+	Iterations int    `json:"iterations"`
+	// SpMVCalls is the solver's exact SpMV count for this request (2 per
+	// BiCGSTAB iteration; 1 per Arnoldi step + 1 per restart for GMRES).
+	SpMVCalls      int           `json:"spmv_calls"`
 	Converged      bool          `json:"converged"`
 	Residual       float64       `json:"residual"`
 	Format         string        `json:"format"`
@@ -135,6 +142,26 @@ type SolveResponse struct {
 	Selector       SelectorStats `json:"selector"`
 	Eigenvalue     *float64      `json:"eigenvalue,omitempty"`
 	X              []float64     `json:"x,omitempty"`
+}
+
+// BuildInfo is the body of GET /buildinfo.
+type BuildInfo struct {
+	ModulePath    string `json:"module_path,omitempty"`
+	ModuleVersion string `json:"module_version,omitempty"`
+	VCSRevision   string `json:"vcs_revision,omitempty"`
+	VCSTime       string `json:"vcs_time,omitempty"`
+	VCSModified   bool   `json:"vcs_modified,omitempty"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+}
+
+// DecisionsResponse is the body of GET /debug/decisions: recent decision
+// traces, newest first.
+type DecisionsResponse struct {
+	Count  int                 `json:"count"`
+	Traces []obs.DecisionTrace `json:"traces"`
 }
 
 // errorResponse is the uniform error body.

@@ -85,6 +85,14 @@ func (h *Handle) countUse(m *Metrics, spmvs, solves int64) {
 		} else {
 			m.ConversionsAvoided.Add(1)
 		}
+		// The selector's measured stage-2 overheads, observed exactly once
+		// per handle. ConvertSeconds is only meaningful when a conversion
+		// actually ran.
+		m.FeatureSeconds.Observe(st.FeatureSeconds)
+		m.PredictSeconds.Observe(st.PredictSeconds)
+		if st.Converted {
+			m.ConvertSeconds.Observe(st.ConvertSeconds)
+		}
 	}
 }
 

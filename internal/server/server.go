@@ -15,7 +15,9 @@
 //     worker count with a bounded queue (overload sheds as 503s);
 //   - HTTP/JSON API: register, stats, batched spmv, solve (CG, PCG,
 //     BiCGSTAB, GMRES, Jacobi, power method, PageRank), delete, plus
-//     /healthz and /metrics.
+//     /healthz, /metrics (Prometheus text; ?format=json for the legacy
+//     snapshot), /buildinfo, /v1/trace/{id} + /debug/decisions for the
+//     selector's decision journal, and an opt-in net/http/pprof mux.
 package server
 
 import (
@@ -23,7 +25,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -32,8 +39,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/matgen"
 	"repro/internal/mmio"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
+	"repro/internal/timing"
 )
 
 // Config sizes the server. Zero values get production-ready defaults.
@@ -64,6 +73,15 @@ type Config struct {
 	// (useful when the pool already saturates all cores with many small
 	// matrices).
 	SerialKernels bool
+	// JournalCapacity bounds the decision journal's ring buffer
+	// (default obs.DefaultJournalCapacity).
+	JournalCapacity int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiling endpoints expose internals (heap contents,
+	// command line) that do not belong on an unauthenticated service port.
+	EnablePprof bool
+	// Logger receives the server's structured logs; nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +112,8 @@ type Server struct {
 	reg     *Registry
 	pool    *Pool
 	metrics *Metrics
+	journal *obs.Journal
+	log     *slog.Logger
 	mux     *http.ServeMux
 	// team is the process-wide parallel worker team every kernel (SpMV,
 	// conversion, vector ops) dispatches through. The server warms it at
@@ -115,12 +135,18 @@ type Server struct {
 // New builds a Server from the configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	m := &Metrics{}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	m := NewMetrics()
 	s := &Server{
 		cfg:     cfg,
 		reg:     NewRegistry(cfg.MaxRegistryNNZ, m),
 		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
 		metrics: m,
+		journal: obs.NewJournal(cfg.JournalCapacity),
+		log:     logger,
 		mux:     http.NewServeMux(),
 		idle:    make(chan struct{}),
 	}
@@ -129,12 +155,23 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
+	s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
 	s.mux.Handle("POST /v1/matrices", s.track(s.handleRegister))
 	s.mux.Handle("GET /v1/matrices", s.track(s.handleList))
 	s.mux.Handle("GET /v1/matrices/{id}", s.track(s.handleGet))
 	s.mux.Handle("DELETE /v1/matrices/{id}", s.track(s.handleDelete))
 	s.mux.Handle("POST /v1/matrices/{id}/spmv", s.track(s.handleSpMV))
 	s.mux.Handle("POST /v1/matrices/{id}/solve", s.track(s.handleSolve))
+	s.mux.Handle("GET /v1/trace/{id}", s.track(s.handleTrace))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof endpoints enabled", "path", "/debug/pprof/")
+	}
 	return s
 }
 
@@ -143,6 +180,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics exposes the counter set (primarily for tests and the daemon).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Journal exposes the decision journal (primarily for tests and the daemon).
+func (s *Server) Journal() *obs.Journal { return s.journal }
 
 // Registry exposes the matrix registry (primarily for tests and the daemon).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -208,7 +248,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	s.metrics.RequestErrors.Add(1)
-	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	msg := fmt.Sprintf(format, args...)
+	if code >= 500 {
+		s.log.Warn("request failed", "status", code, "error", msg)
+	} else {
+		s.log.Debug("request rejected", "status", code, "error", msg)
+	}
+	s.writeJSON(w, code, errorResponse{Error: msg})
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -234,7 +280,9 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Handle, bool) 
 
 func (s *Server) info(h *Handle) MatrixInfo {
 	spmv, solve := h.Usage()
+	traceID, _ := h.SA.TraceID()
 	return MatrixInfo{
+		TraceID:    traceID,
 		ID:         h.ID,
 		Name:       h.Name,
 		Rows:       h.Rows,
@@ -263,14 +311,86 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot()
-	if s.team != nil {
-		// Team dispatch counters: Woken/Dispatches well below Width-1 means
-		// concurrent solves are sharing the team (each dispatch finds fewer
-		// idle workers), which is the intended behavior under load.
-		snap["parallel_team"] = s.team.Stats()
+	if r.URL.Query().Get("format") == "json" {
+		snap := s.metrics.Snapshot()
+		if s.team != nil {
+			// Team dispatch counters: Woken/Dispatches well below Width-1
+			// means concurrent solves are sharing the team (each dispatch
+			// finds fewer idle workers), the intended behavior under load.
+			snap["parallel_team"] = s.team.Stats()
+		}
+		s.writeJSON(w, http.StatusOK, snap)
+		return
 	}
-	s.writeJSON(w, http.StatusOK, snap)
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteText(w, s.metrics.Families(s.team,
+		obs.ScalarFamily("ocsd_decision_traces", "Decision traces currently held in the journal.", obs.KindGauge, float64(s.journal.Len())),
+	))
+}
+
+// handleBuildInfo reports how this binary was built — module version, VCS
+// revision, Go version — plus the parallelism it sees, so a scraped fleet
+// can be audited for version skew.
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	info := BuildInfo{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		info.ModulePath = bi.Main.Path
+		info.ModuleVersion = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info.VCSRevision = kv.Value
+			case "vcs.time":
+				info.VCSTime = kv.Value
+			case "vcs.modified":
+				info.VCSModified = kv.Value == "true"
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+// handleDecisions dumps the journal's recent traces (newest first) as JSON.
+// ?n= bounds the count; default all held.
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			s.fail(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		n = v
+	}
+	traces := s.journal.Recent(n)
+	s.writeJSON(w, http.StatusOK, DecisionsResponse{Count: len(traces), Traces: traces})
+}
+
+// handleTrace resolves a matrix handle to its decision trace. 404 separates
+// "no such matrix" from "pipeline has not run yet" (409) and "trace evicted
+// from the journal" (410), so clients can tell waiting from gone.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	id, ok := h.SA.TraceID()
+	if !ok {
+		s.fail(w, http.StatusConflict, "matrix %s: selector pipeline has not run yet", h.ID)
+		return
+	}
+	tr, ok := s.journal.Get(id)
+	if !ok {
+		s.fail(w, http.StatusGone, "matrix %s: trace %d evicted from the journal", h.ID, id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, tr)
 }
 
 // parseFamily resolves a matgen family by its lower-case name.
@@ -342,6 +462,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Selector != nil {
 		selCfg = *s.cfg.Selector
 	}
+	// Every handle's selector writes into the shared journal; the label
+	// carries the caller-facing name (the handle ID is not assigned yet —
+	// /v1/trace/{id} resolves ID → trace through the handle instead).
+	selCfg.Journal = s.journal
+	if selCfg.TraceLabel == "" {
+		selCfg.TraceLabel = req.Name
+	}
 	ad := core.NewAdaptive(csr, tol, s.cfg.Preds, selCfg, !s.cfg.SerialKernels)
 	rows, cols := csr.Dims()
 	h := &Handle{
@@ -360,6 +487,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusRequestEntityTooLarge, "%v", err)
 		return
 	}
+	s.log.Info("matrix registered",
+		"id", h.ID, "name", h.Name, "rows", h.Rows, "cols", h.Cols,
+		"nnz", h.NNZ, "evicted", len(evicted))
 	info := s.info(h)
 	info.Evicted = evicted
 	s.writeJSON(w, http.StatusCreated, info)
@@ -412,7 +542,11 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	ys := make([][]float64, len(req.X))
+	wait := timing.StartStopwatch(nil)
 	err := s.pool.Do(r.Context(), func() error {
+		s.metrics.QueueWaitSeconds.Observe(wait.Seconds())
+		compute := timing.StartStopwatch(nil)
+		defer func() { s.metrics.SpMVSeconds.Observe(compute.Seconds()) }()
 		for i, x := range req.X {
 			if err := r.Context().Err(); err != nil {
 				return err
@@ -496,8 +630,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		res   apps.Result
 		eig   *float64
 		start = time.Now()
+		wait  = timing.StartStopwatch(nil)
 	)
 	err := s.pool.Do(ctx, func() error {
+		s.metrics.QueueWaitSeconds.Observe(wait.Seconds())
+		compute := timing.StartStopwatch(nil)
+		defer func() { s.metrics.SolveSeconds.Observe(compute.Seconds()) }()
 		var err error
 		switch req.App {
 		case "cg":
@@ -547,11 +685,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	format := h.SA.Format()
 	s.metrics.SolveRequests.Add(1)
 	s.metrics.SolveIters.Add(int64(res.Iterations))
-	s.metrics.CountSpMV(format, int64(res.Iterations))
-	h.countUse(s.metrics, int64(res.Iterations), 1)
+	s.metrics.SolveSpMVs.Add(int64(res.SpMVs))
+	// Attribute the solver's exact SpMV count (not an iterations-based
+	// approximation: BiCGSTAB issues two per iteration, restarted GMRES one
+	// per Arnoldi step plus one per restart).
+	s.metrics.CountSpMV(format, int64(res.SpMVs))
+	h.countUse(s.metrics, int64(res.SpMVs), 1)
 	resp := SolveResponse{
 		App:            req.App,
 		Iterations:     res.Iterations,
+		SpMVCalls:      res.SpMVs,
 		Converged:      res.Converged,
 		Residual:       res.Residual,
 		Format:         format.String(),

@@ -280,7 +280,7 @@ func TestSolveDrivesTwoStageSelector(t *testing.T) {
 	}
 
 	var metrics map[string]any
-	if code, _ := call(t, "GET", ts.URL+"/metrics", nil, &metrics); code != http.StatusOK {
+	if code, _ := call(t, "GET", ts.URL+"/metrics?format=json", nil, &metrics); code != http.StatusOK {
 		t.Fatal("metrics failed")
 	}
 	if metrics["solve_requests"].(float64) != 1 {

@@ -1,0 +1,29 @@
+package timing
+
+import "time"
+
+// Stopwatch measures one elapsed region on an injected Clock. It exists so
+// request-path timings in the server read the same as the selector's
+// self-measurements: start at the top, Seconds() where the observation is
+// recorded, with a FakeClock making both deterministic under test.
+type Stopwatch struct {
+	clock Clock
+	start time.Time
+}
+
+// StartStopwatch begins timing on c (nil means the wall clock).
+func StartStopwatch(c Clock) Stopwatch {
+	c = orWall(c)
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed returns the time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return Since(orWall(s.clock), s.start)
+}
+
+// Seconds returns the elapsed time in seconds, the unit the histograms and
+// the selector's overhead accounting use.
+func (s Stopwatch) Seconds() float64 {
+	return s.Elapsed().Seconds()
+}
