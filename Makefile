@@ -21,7 +21,7 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/parallel/
-	$(GO) run ./cmd/ocsbench -out BENCH_spmv.json
+	$(GO) run ./cmd/ocsbench -async -out BENCH_spmv.json
 
 # Diff a fresh (unwritten) bench run against the checked-in baseline; exits
 # nonzero on >25% dispatch/SpMV regressions. Advisory in CI — absolute

@@ -57,6 +57,7 @@ func main() {
 		solveTimeout = flag.Duration("timeout", 60*time.Second, "default solve timeout")
 		drainWait    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		serial       = flag.Bool("serial", false, "use serial SpMV kernels (pool provides the parallelism)")
+		async        = flag.Bool("async", true, "run stage-2 selection (features, prediction, conversion) on a background worker instead of stalling the triggering request")
 		journalCap   = flag.Int("journal", 0, "decision journal capacity (0 = default)")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -101,6 +102,7 @@ func main() {
 		DefaultSolveTimeout: *solveTimeout,
 		Preds:               preds,
 		SerialKernels:       *serial,
+		Async:               *async,
 		JournalCapacity:     *journalCap,
 		EnablePprof:         *enablePprof,
 		Logger:              logger,

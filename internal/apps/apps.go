@@ -24,6 +24,23 @@ type Operator interface {
 // solver's convergence indicator at that iteration (residual norm or delta).
 type Hook func(iter int, progress float64)
 
+// SwapPointer is the optional Operator extension the adaptive wrapper
+// implements: a solver calls SwapPoint once per iteration boundary — a
+// point where none of its SpMV calls is in flight — giving the operator a
+// safe instant to swap in a matrix format that finished converting in the
+// background. Operators without background work simply don't implement it.
+type SwapPointer interface {
+	SwapPoint()
+}
+
+// swapPoint invokes op's SwapPoint hook when it has one. Every solver calls
+// this at the top of its iteration loop.
+func swapPoint(op Operator) {
+	if sp, ok := op.(SwapPointer); ok {
+		sp.SwapPoint()
+	}
+}
+
 // Result summarizes a solver run.
 type Result struct {
 	// Iterations is the number of iterations executed.

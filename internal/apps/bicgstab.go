@@ -47,6 +47,7 @@ func BiCGSTAB(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, er
 			res.X = x
 			return res, fmt.Errorf("apps: BiCGSTAB canceled at iteration %d: %w", iter, err)
 		}
+		swapPoint(op)
 		rhoNew := vec.Dot(rhat, r)
 		if math.Abs(rhoNew) < 1e-300 {
 			record(iter, vec.Nrm2(r))

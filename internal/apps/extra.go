@@ -43,6 +43,7 @@ func Jacobi(op Operator, diag, b []float64, omega float64, opt SolveOptions, hoo
 			res.X = x
 			return res, fmt.Errorf("apps: Jacobi canceled at iteration %d: %w", iter, err)
 		}
+		swapPoint(op)
 		op.SpMV(ax, x)
 		res.SpMVs++
 		var rnorm float64
@@ -97,6 +98,7 @@ func PowerMethod(op Operator, opt SolveOptions, hook Hook) (PowerResult, error) 
 			out.X = x
 			return out, fmt.Errorf("apps: power method canceled at iteration %d: %w", iter, err)
 		}
+		swapPoint(op)
 		op.SpMV(ax, x)
 		out.SpMVs++
 		newLambda := vec.Dot(x, ax)

@@ -54,6 +54,7 @@ func GMRES(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error
 	totalIter := 0
 	for totalIter < opt.MaxIters {
 		// r = b - A x
+		swapPoint(op)
 		op.SpMV(r, x)
 		res.SpMVs++
 		vec.Sub(r, b, r)
@@ -77,6 +78,7 @@ func GMRES(op Operator, b []float64, opt SolveOptions, hook Hook) (Result, error
 				res.X = x
 				return res, fmt.Errorf("apps: GMRES canceled at iteration %d: %w", totalIter+1, err)
 			}
+			swapPoint(op)
 			op.SpMV(w, V[j])
 			res.SpMVs++
 			// Modified Gram-Schmidt.

@@ -96,6 +96,7 @@ func PageRank(op Operator, dangling []bool, opt PageRankOptions, hook Hook) (Res
 			res.X = x
 			return res, fmt.Errorf("apps: PageRank canceled at iteration %d: %w", iter, err)
 		}
+		swapPoint(op)
 		var danglingMass float64
 		for i, d := range dangling {
 			if d {

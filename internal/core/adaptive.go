@@ -32,6 +32,23 @@ type Stats struct {
 	FeatureSeconds float64
 	PredictSeconds float64
 	ConvertSeconds float64
+	// Async reports that stage 2 was dispatched to a background worker
+	// (Config.Async) instead of running inline at the gate.
+	Async bool
+	// Pending reports a background stage-2 job launched but not yet adopted
+	// at a swap point (nor canceled).
+	Pending bool
+	// Canceled reports a background stage-2 job abandoned via Close before
+	// its result could be adopted.
+	Canceled bool
+	// PaidSeconds and HiddenSeconds partition the three overheads above by
+	// whether they stalled the solver (inline on the critical path) or ran
+	// overlapped with in-flight iterations on a background worker. Once a
+	// launched job has been adopted their sum equals FeatureSeconds +
+	// PredictSeconds + ConvertSeconds; inline pipelines have
+	// HiddenSeconds = 0.
+	PaidSeconds   float64
+	HiddenSeconds float64
 }
 
 // Adaptive wraps a CSR matrix with the two-stage lazy-and-light scheme. The
@@ -70,6 +87,11 @@ type Adaptive struct {
 	// to maintain the trace's T_affected ledger.
 	traceID uint64
 	ledger  bool
+
+	// pending is the in-flight background stage-2 job under Config.Async,
+	// nil otherwise. Only the solver goroutine touches this field; the
+	// background goroutine communicates through the job's done channel.
+	pending *stage2Job
 }
 
 // NewAdaptive wraps a matrix in its default CSR format. tol is the
@@ -146,37 +168,54 @@ func (ad *Adaptive) run(y, x []float64) {
 
 // RecordProgress feeds one loop iteration's progress indicator (e.g. the
 // residual norm a solver computes anyway). After the K-th call the
-// lazy-and-light pipeline runs exactly once.
+// lazy-and-light pipeline runs exactly once. Post-decision calls double as
+// swap points: a finished background stage-2 job is adopted here, so loops
+// that only ever call SpMV + RecordProgress still pick up async conversions.
 func (ad *Adaptive) RecordProgress(v float64) {
 	ad.progress = append(ad.progress, v)
 	ad.stats.Iterations = len(ad.progress)
-	if ad.decided || len(ad.progress) < ad.cfg.K {
+	if ad.decided {
+		ad.adoptPending()
+		return
+	}
+	if len(ad.progress) < ad.cfg.K {
 		return
 	}
 	ad.decided = true
 	ad.runPipeline()
 }
 
-// runPipeline executes stage 1 and, if the gate opens, stage 2. When a
-// journal is configured it also assembles the decision trace: every gate
-// inequality is recorded with both of its sides, so a trace shows how close
-// each call was, not just its verdict.
+// runPipeline executes stage 1 and, if the gate opens, stage 2 — inline, or
+// dispatched to a background worker under Config.Async. When a journal is
+// configured it also assembles the decision trace: every gate inequality is
+// recorded with both of its sides, so a trace shows how close each call
+// was, not just its verdict. An async launch defers the journal append to
+// adoption time, when the measured overheads exist.
 func (ad *Adaptive) runPipeline() {
-	journaled := ad.cfg.Journal != nil
-	var tr obs.DecisionTrace
-	defer func() {
-		if journaled {
-			ad.traceID = ad.cfg.Journal.Append(tr)
-			ad.ledger = tr.Stage2Ran
-		}
-	}()
+	tr, remaining, ok := ad.runStage1()
+	if !ok {
+		ad.journalTrace(tr)
+		return
+	}
+	if ad.cfg.Async {
+		ad.launchStage2(tr, remaining)
+		return
+	}
+	ad.runStage2Inline(&tr, remaining)
+	ad.journalTrace(tr)
+}
 
-	// Stage 1: lazy-and-light tripcount prediction from the progress
-	// series. Its cost is a handful of scalar ops — the paper measures ~2ms
-	// for its ARIMA, ours is cheaper still — but we time it anyway.
+// runStage1 runs the lazy tripcount prediction and the gates in front of
+// stage 2. This part always runs inline — its cost is a handful of scalar
+// ops, and the gates need the self-measured SpMV baseline that lives on the
+// solver goroutine — so it is always *paid* overhead, even under Async.
+// ok reports whether stage 2 should run.
+func (ad *Adaptive) runStage1() (tr obs.DecisionTrace, remaining int, ok bool) {
 	start := ad.clock.Now()
 	total, err := ad.cfg.Tripcount.PredictTotal(ad.progress, ad.tol)
-	ad.stats.PredictSeconds += timing.Since(ad.clock, start).Seconds()
+	stage1 := timing.Since(ad.clock, start).Seconds()
+	ad.stats.PredictSeconds += stage1
+	ad.stats.PaidSeconds += stage1
 	ad.stats.Stage1Ran = true
 	tr = obs.DecisionTrace{
 		Label:      ad.cfg.TraceLabel,
@@ -186,20 +225,20 @@ func (ad *Adaptive) runPipeline() {
 	}
 	if err != nil {
 		tr.Stage1Err = err.Error()
-		return
+		return tr, 0, false
 	}
 	ad.stats.PredictedTotal = total
 	tr.PredictedTotal = total
-	remaining := total - len(ad.progress)
+	remaining = total - len(ad.progress)
 	tr.Gates = append(tr.Gates, obs.GateCheck{
 		Name: "remaining>=TH", LHS: float64(remaining), RHS: float64(ad.cfg.TH),
 		Passed: remaining >= ad.cfg.TH,
 	})
 	if remaining < ad.cfg.TH {
-		return // loop predicted too short: conversion can't pay off
+		return tr, remaining, false // loop predicted too short: conversion can't pay off
 	}
 	if ad.preds == nil {
-		return
+		return tr, remaining, false
 	}
 	// Overhead-conscious gate on stage 2 itself: estimate the feature
 	// extraction cost in units of this run's self-measured SpMV time and
@@ -215,14 +254,19 @@ func (ad *Adaptive) runPipeline() {
 				Passed: float64(remaining) >= threshold,
 			})
 			if float64(remaining) < threshold {
-				return
+				return tr, remaining, false
 			}
 		}
 	}
+	return tr, remaining, true
+}
 
-	// Stage 2: feature extraction (the dominant prediction overhead), model
-	// inference, cost-benefit argmin.
-	start = ad.clock.Now()
+// runStage2Inline is the synchronous pipeline tail: feature extraction (the
+// dominant prediction overhead), model inference, cost-benefit argmin and
+// the conversion, all on the solver's critical path — every second of it is
+// paid overhead.
+func (ad *Adaptive) runStage2Inline(tr *obs.DecisionTrace, remaining int) {
+	start := ad.clock.Now()
 	fs := features.Extract(ad.csr)
 	bsrBlocks := features.CountBlocks(ad.csr, ad.cfg.Lim.BSRBlockSize)
 	ad.stats.FeatureSeconds = timing.Since(ad.clock, start).Seconds()
@@ -230,48 +274,69 @@ func (ad *Adaptive) runPipeline() {
 	start = ad.clock.Now()
 	d := ad.preds.Decide(fs, bsrBlocks, float64(remaining), ad.cfg.Lim, ad.cfg.Margin)
 	ad.stats.PredictSeconds += timing.Since(ad.clock, start).Seconds()
-	ad.stats.Stage2Ran = true
-	ad.stats.Decision = d
-	tr.Stage2Ran = true
-	tr.Chosen = d.Format.String()
-	if journaled {
-		tr.PredictedCostByFormat = formatKeyed(d.PredictedCost)
-		tr.PredictedSpMVNormByFormat = formatKeyed(d.PredictedSpMV)
-		tr.PredictedConvNormByFormat = formatKeyed(d.PredictedConv)
-		// The margin inequality the argmin applied: the cheapest non-CSR
-		// candidate had to undercut staying by Margin to win.
-		if alt, ok := bestAlternative(d); ok {
-			stay := float64(remaining) * (1 - ad.cfg.Margin)
-			tr.Gates = append(tr.Gates, obs.GateCheck{
-				Name: "stay_cost*(1-margin)>=best_alt", LHS: stay, RHS: alt,
-				Passed: d.Format != sparse.FmtCSR,
-			})
-		}
-	}
+	ad.recordStage2(tr, d, remaining)
 	if d.Format == sparse.FmtCSR {
-		ad.finishTrace(&tr, d)
+		ad.stats.PaidSeconds = ad.OverheadSeconds()
+		ad.finishTrace(tr, d)
 		return
 	}
 
 	start = ad.clock.Now()
 	m, err := sparse.ConvertFromCSR(ad.csr, d.Format, ad.cfg.Lim)
 	ad.stats.ConvertSeconds = timing.Since(ad.clock, start).Seconds()
+	ad.stats.PaidSeconds = ad.OverheadSeconds()
 	if err != nil {
 		// The validity pre-check should prevent this; fall back to CSR.
 		tr.ConvertErr = err.Error()
 		tr.Chosen = sparse.FmtCSR.String()
-		ad.finishTrace(&tr, d)
+		ad.finishTrace(tr, d)
 		return
 	}
 	ad.cur = m
 	ad.stats.Converted = true
 	ad.stats.Format = d.Format
 	tr.Converted = true
-	ad.finishTrace(&tr, d)
+	ad.finishTrace(tr, d)
+}
+
+// recordStage2 folds a stage-2 decision into the stats and the trace,
+// including the margin inequality the argmin applied: the cheapest non-CSR
+// candidate had to undercut staying by Margin to win.
+func (ad *Adaptive) recordStage2(tr *obs.DecisionTrace, d Decision, remaining int) {
+	ad.stats.Stage2Ran = true
+	ad.stats.Decision = d
+	tr.Stage2Ran = true
+	tr.Chosen = d.Format.String()
+	if ad.cfg.Journal == nil {
+		return
+	}
+	tr.PredictedCostByFormat = formatKeyed(d.PredictedCost)
+	tr.PredictedSpMVNormByFormat = formatKeyed(d.PredictedSpMV)
+	tr.PredictedConvNormByFormat = formatKeyed(d.PredictedConv)
+	if alt, ok := bestAlternative(d); ok {
+		stay := float64(remaining) * (1 - ad.cfg.Margin)
+		tr.Gates = append(tr.Gates, obs.GateCheck{
+			Name: "stay_cost*(1-margin)>=best_alt", LHS: stay, RHS: alt,
+			Passed: d.Format != sparse.FmtCSR,
+		})
+	}
+}
+
+// journalTrace appends the finished trace to the journal and arms the
+// post-decision SpMV timing that maintains its T_affected ledger (only
+// traces whose stage 2 ran get one).
+func (ad *Adaptive) journalTrace(tr obs.DecisionTrace) {
+	if ad.cfg.Journal == nil {
+		return
+	}
+	ad.traceID = ad.cfg.Journal.Append(tr)
+	ad.ledger = tr.Stage2Ran
 }
 
 // finishTrace fills the trace's measured-overhead fields and seeds the
 // ledger with the model-side quantities the payoff will be judged against.
+// Only the paid share of the overhead enters the ledger's net balance;
+// hidden (overlapped) seconds are reported but never charged.
 func (ad *Adaptive) finishTrace(tr *obs.DecisionTrace, d Decision) {
 	if ad.cfg.Journal == nil {
 		return
@@ -279,6 +344,8 @@ func (ad *Adaptive) finishTrace(tr *obs.DecisionTrace, d Decision) {
 	tr.FeatureSeconds = ad.stats.FeatureSeconds
 	tr.PredictSeconds = ad.stats.PredictSeconds
 	tr.ConvertSeconds = ad.stats.ConvertSeconds
+	tr.PaidSeconds = ad.stats.PaidSeconds
+	tr.HiddenSeconds = ad.stats.HiddenSeconds
 	var baseline float64
 	if ad.spmvCalls > 0 {
 		baseline = ad.spmvSeconds / float64(ad.spmvCalls)
@@ -291,7 +358,8 @@ func (ad *Adaptive) finishTrace(tr *obs.DecisionTrace, d Decision) {
 			predictedNorm = v
 		}
 	}
-	tr.Ledger.InitPredictions(baseline, predictedNorm, ad.OverheadSeconds(), ad.stats.Converted)
+	tr.Ledger.InitPredictions(baseline, predictedNorm,
+		ad.stats.PaidSeconds, ad.stats.HiddenSeconds, ad.stats.Converted)
 }
 
 // formatKeyed re-keys a per-format map by the formats' names for the
@@ -323,7 +391,11 @@ func bestAlternative(d Decision) (float64, bool) {
 }
 
 // Stats returns a copy of the run's bookkeeping.
-func (ad *Adaptive) Stats() Stats { return ad.stats }
+func (ad *Adaptive) Stats() Stats {
+	st := ad.stats
+	st.Pending = ad.pending != nil
+	return st
+}
 
 // Format returns the format SpMV currently runs on.
 func (ad *Adaptive) Format() sparse.Format { return ad.stats.Format }

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/features"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+	"repro/internal/timing"
+)
+
+// This file implements the asynchronous stage-2 pipeline (Config.Async):
+// once the lazy gate opens, feature extraction, model inference and the
+// format conversion run on a background worker borrowed from the process
+// parallel.Team while the solver keeps iterating on the current format. The
+// result is installed at the next *swap point* — an iteration boundary
+// where the caller guarantees no SpMV is in flight on this operator — so
+// readers never observe a torn matrix. The overhead the paper charges as
+// T_predict + T_convert mostly turns into *hidden* time: machine work
+// overlapped with useful iterations instead of a stall.
+
+// stage2Job is one in-flight background stage-2 run. tr and remaining are
+// immutable after launch; canceled is an atomic flag both sides may touch;
+// every other field is written by the background goroutine before it closes
+// done and must only be read after observing the close (that close is the
+// happens-before edge adoption synchronizes on).
+type stage2Job struct {
+	tr        obs.DecisionTrace // stage-1 trace snapshot
+	remaining int
+	canceled  atomic.Bool
+	done      chan struct{}
+
+	// Results, valid once done is closed.
+	d          Decision
+	decided    bool
+	m          sparse.Matrix // nil when staying on CSR or conversion failed
+	convertErr string
+	feature    float64
+	predict    float64
+	convert    float64
+}
+
+// launchStage2 dispatches stage 2 to a background worker and returns
+// immediately. Everything the background goroutine touches is immutable
+// (the CSR master copy, the predictor bundle) or copied (the config, the
+// clock interface), so it never races the solver goroutine on the wrapper
+// itself. Post-launch SpMV calls are untimed until adoption (decided is set
+// and no ledger is armed yet), which keeps a FakeClock replay
+// deterministic: only the background job consumes clock steps while it
+// runs.
+func (ad *Adaptive) launchStage2(tr obs.DecisionTrace, remaining int) {
+	tr.Async = true
+	job := &stage2Job{tr: tr, remaining: remaining, done: make(chan struct{})}
+	ad.pending = job
+	ad.stats.Async = true
+	csr, preds, cfg, clock := ad.csr, ad.preds, ad.cfg, ad.clock
+	parallel.Default().Go(func() { job.run(csr, preds, cfg, clock) })
+}
+
+// run executes stage 2 on the background worker: features → decide →
+// convert, each region timed with the wrapper's clock. The canceled flag is
+// checked between phases so an abandoned job stops working soon after
+// Close; in particular the conversion — the expensive phase — never starts
+// for a canceled job. The cost-benefit argmin runs with an overlap budget
+// of the full remaining-iteration count: by construction every iteration up
+// to adoption can cover conversion time, so only the residual
+// max(0, T_convert − T_overlap) is charged against a candidate.
+func (j *stage2Job) run(csr *sparse.CSR, preds *Predictors, cfg Config, clock timing.Clock) {
+	defer close(j.done)
+	if j.canceled.Load() {
+		return
+	}
+	start := clock.Now()
+	fs := features.Extract(csr)
+	bsrBlocks := features.CountBlocks(csr, cfg.Lim.BSRBlockSize)
+	j.feature = timing.Since(clock, start).Seconds()
+	if j.canceled.Load() {
+		return
+	}
+	start = clock.Now()
+	d := preds.DecideOverlap(fs, bsrBlocks, float64(j.remaining), float64(j.remaining), cfg.Lim, cfg.Margin)
+	j.predict = timing.Since(clock, start).Seconds()
+	j.d = d
+	j.decided = true
+	if d.Format == sparse.FmtCSR || j.canceled.Load() {
+		return
+	}
+	start = clock.Now()
+	m, err := sparse.ConvertFromCSR(csr, d.Format, cfg.Lim)
+	j.convert = timing.Since(clock, start).Seconds()
+	if err != nil {
+		j.convertErr = err.Error()
+		return
+	}
+	j.m = m
+}
+
+// SwapPoint is the iteration-boundary hook: solvers (and ocsd's request
+// handlers) call it at a point where no SpMV is in flight on this operator,
+// giving the wrapper a safe instant to install the result of a background
+// stage-2 run. It never blocks — a job still running is left to finish —
+// and it is a bare nil check when nothing is pending, so calling it every
+// iteration costs nothing measurable.
+func (ad *Adaptive) SwapPoint() {
+	ad.adoptPending()
+}
+
+// WaitPending blocks until the in-flight background stage-2 job completes,
+// adopts its result, and reports whether there was one. Benchmarks and
+// tests use it to make adoption deterministic; production loops never need
+// it (RecordProgress and SwapPoint adopt opportunistically).
+func (ad *Adaptive) WaitPending() bool {
+	j := ad.pending
+	if j == nil {
+		return false
+	}
+	<-j.done
+	ad.adoptPending()
+	return true
+}
+
+// Close abandons any in-flight background stage-2 job without blocking: the
+// solver converged (or the handle is being torn down) before the conversion
+// could pay off, so the job's result — even a completed one — is dropped,
+// never adopted. The background goroutine observes the canceled flag
+// between phases and exits early. The abandoned run is journaled with
+// Canceled set so the decision trail stays complete. Close is idempotent
+// and the wrapper remains usable (on its current format) afterwards.
+func (ad *Adaptive) Close() {
+	j := ad.pending
+	if j == nil {
+		return
+	}
+	j.canceled.Store(true)
+	ad.pending = nil
+	ad.stats.Canceled = true
+	tr := j.tr
+	tr.Canceled = true
+	ad.journalTrace(tr)
+}
+
+// adoptPending installs the pending job's result if the background work has
+// finished; a job still running leaves the wrapper iterating on its current
+// format.
+func (ad *Adaptive) adoptPending() {
+	j := ad.pending
+	if j == nil {
+		return
+	}
+	select {
+	case <-j.done:
+	default:
+		return
+	}
+	ad.pending = nil
+	ad.adopt(j)
+}
+
+// adopt folds a finished background job into the wrapper: overhead
+// accounting (all of it hidden — the solver never stalled for any of these
+// seconds), the atomic format swap, and the deferred decision trace with
+// its T_affected ledger. It runs on the solver goroutine at a swap point;
+// SafeAdaptive additionally holds its lock across it, so concurrent readers
+// observe the format flip atomically.
+func (ad *Adaptive) adopt(j *stage2Job) {
+	tr := j.tr
+	ad.stats.FeatureSeconds = j.feature
+	ad.stats.PredictSeconds += j.predict
+	ad.stats.ConvertSeconds = j.convert
+	ad.stats.HiddenSeconds += j.feature + j.predict + j.convert
+	if !j.decided {
+		// The job was canceled mid-flight before reaching the decision;
+		// Close normally discards the pending pointer, so adoption should
+		// never see this — journal what exists and stay on CSR.
+		ad.journalTrace(tr)
+		return
+	}
+	ad.recordStage2(&tr, j.d, j.remaining)
+	switch {
+	case j.m != nil:
+		ad.cur = j.m
+		ad.stats.Converted = true
+		ad.stats.Format = j.d.Format
+		tr.Converted = true
+	case j.convertErr != "":
+		tr.ConvertErr = j.convertErr
+		tr.Chosen = sparse.FmtCSR.String()
+	}
+	ad.finishTrace(&tr, j.d)
+	ad.journalTrace(tr)
+}

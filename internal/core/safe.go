@@ -53,6 +53,41 @@ func (s *SafeAdaptive) RecordProgress(v float64) {
 	s.ad.RecordProgress(v)
 }
 
+// SwapPoint gives the wrapper a safe instant to install the result of a
+// background stage-2 run. The handle lock is held across the swap, so
+// concurrent SpMV callers observe the format change atomically — never a
+// torn matrix.
+func (s *SafeAdaptive) SwapPoint() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ad.SwapPoint()
+}
+
+// WaitPending blocks until an in-flight background stage-2 job has been
+// adopted, reporting whether there was one. The handle lock is NOT held
+// while waiting (only across the adoption), so concurrent SpMV traffic
+// keeps flowing while the background job runs.
+func (s *SafeAdaptive) WaitPending() bool {
+	s.mu.Lock()
+	j := s.ad.pending
+	s.mu.Unlock()
+	if j == nil {
+		return false
+	}
+	<-j.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ad.adoptPending()
+	return true
+}
+
+// Close abandons any in-flight background stage-2 job without blocking.
+func (s *SafeAdaptive) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ad.Close()
+}
+
 // Stats returns a copy of the wrapper's bookkeeping.
 func (s *SafeAdaptive) Stats() Stats {
 	s.mu.Lock()

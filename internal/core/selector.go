@@ -60,6 +60,18 @@ type Config struct {
 	// tiny matrices whose whole solve lasts milliseconds this fixed cost
 	// is what dominates, so the gate must know about it.
 	PredictFixedSeconds float64
+	// Async moves stage 2 off the solver's critical path: when the gate
+	// opens, feature extraction, model inference and the conversion run on a
+	// background worker (parallel.Team.Go) while the solver keeps iterating
+	// on the current format; the result is swapped in atomically at the next
+	// iteration boundary (Adaptive.SwapPoint / RecordProgress). The
+	// cost-benefit argmin then charges each candidate only the conversion
+	// time that cannot be hidden behind the remaining iterations — the
+	// effective T_convert becomes max(0, T_convert − T_overlap) — which
+	// makes conversion profitable for shorter loops than the paper's inline
+	// model allows. The decision trace splits the overhead into paid vs
+	// hidden seconds accordingly.
+	Async bool
 	// Lim bounds format conversions.
 	Lim sparse.Limits
 	// Tripcount configures the stage-1 ARIMA predictor.
@@ -179,6 +191,24 @@ func formatValid(f sparse.Format, s *features.Set, bsrBlocks int, lim sparse.Lim
 // undercut staying by the margin fraction (risk control against prediction
 // noise on marginal wins).
 func (p *Predictors) Decide(s *features.Set, bsrBlocks int, remaining float64, lim sparse.Limits, margin float64) Decision {
+	return p.DecideOverlap(s, bsrBlocks, remaining, 0, lim, margin)
+}
+
+// DecideOverlap is Decide with an overlap budget: overlap is how many
+// CSR-SpMV-equivalents of conversion work can run concurrently with solver
+// iterations still in flight (the async pipeline passes remaining — every
+// iteration up to adoption can cover conversion time; the inline pipeline
+// passes 0, reproducing the paper's model bit for bit). A hidden conversion
+// does not stall the loop, but the iterations covering it still run at CSR
+// speed (cost 1 each) and only the rest enjoy the converted format, so a
+// candidate's cost becomes
+//
+//	max(0, conv − h) + h·1 + (remaining − h)·spmv,  h = min(conv, overlap, remaining)
+//
+// — the residual (non-hidden) conversion charge plus the split iteration
+// bill. This is the paper's T_affected with the effective conversion cost
+// shrunk to max(0, T_convert − T_overlap).
+func (p *Predictors) DecideOverlap(s *features.Set, bsrBlocks int, remaining, overlap float64, lim sparse.Limits, margin float64) Decision {
 	x := s.Vector()
 	d := Decision{
 		Format:        sparse.FmtCSR,
@@ -208,7 +238,7 @@ func (p *Predictors) Decide(s *features.Set, bsrBlocks int, remaining float64, l
 		if spmv < 0 {
 			spmv = 0
 		}
-		cost := conv + spmv*remaining
+		cost := overlapCost(conv, spmv, remaining, overlap)
 		d.PredictedCost[f] = cost
 		d.PredictedSpMV[f] = spmv
 		d.PredictedConv[f] = conv
@@ -218,6 +248,21 @@ func (p *Predictors) Decide(s *features.Set, bsrBlocks int, remaining float64, l
 		}
 	}
 	return d
+}
+
+// overlapCost is the overlap-aware candidate cost in CSR-SpMV units; see
+// DecideOverlap for the derivation. With overlap = 0 it degenerates to the
+// inline model conv + spmv·remaining exactly (h = 0 leaves both terms
+// untouched, no floating-point rewriting).
+func overlapCost(conv, spmv, remaining, overlap float64) float64 {
+	h := conv
+	if overlap < h {
+		h = overlap
+	}
+	if remaining < h {
+		h = remaining
+	}
+	return (conv - h) + h + (remaining-h)*spmv
 }
 
 // OracleDecide is the oracle ("upper bound") variant of Decide used by the

@@ -101,7 +101,7 @@ func TestJournalConcurrent(t *testing.T) {
 func TestLedgerInitPredictionsConverted(t *testing.T) {
 	var l Ledger
 	// baseline 1ms, model promises 0.4x per-call time, overhead 3ms.
-	l.InitPredictions(0.001, 0.4, 0.003, true)
+	l.InitPredictions(0.001, 0.4, 0.003, 0, true)
 	if l.PredictedSpMVSeconds != 0.0004 {
 		t.Errorf("predicted per-call %g, want 0.0004", l.PredictedSpMVSeconds)
 	}
@@ -119,12 +119,12 @@ func TestLedgerInitPredictionsConverted(t *testing.T) {
 
 func TestLedgerInitPredictionsDegenerate(t *testing.T) {
 	var stay Ledger
-	stay.InitPredictions(0.001, 1, 0.002, false)
+	stay.InitPredictions(0.001, 1, 0.002, 0, false)
 	if stay.PredictedBreakEvenCalls != 0 {
 		t.Errorf("stay break-even %d, want 0", stay.PredictedBreakEvenCalls)
 	}
 	var worse Ledger
-	worse.InitPredictions(0.001, 1.5, 0.002, true)
+	worse.InitPredictions(0.001, 1.5, 0.002, 0, true)
 	if worse.PredictedBreakEvenCalls != -1 {
 		t.Errorf("slower-format break-even %d, want -1", worse.PredictedBreakEvenCalls)
 	}
@@ -135,7 +135,7 @@ func TestLedgerInitPredictionsDegenerate(t *testing.T) {
 // identity in miniature.
 func TestLedgerRecordPost(t *testing.T) {
 	var l Ledger
-	l.InitPredictions(0.001, 0.5, 0.001, true) // saves 0.5ms/call, 2 calls to repay 1ms
+	l.InitPredictions(0.001, 0.5, 0.001, 0, true) // saves 0.5ms/call, 2 calls to repay 1ms
 
 	l.RecordPost(0.0005)
 	if l.PostSpMVCalls != 1 || l.RealizedSpMVSeconds != 0.0005 || l.RealizedSpeedup != 2 {
@@ -158,7 +158,7 @@ func TestLedgerRecordPost(t *testing.T) {
 
 	// A slower-than-baseline format shows negative saving and real regret.
 	var bad Ledger
-	bad.InitPredictions(0.001, 0.5, 0.001, true)
+	bad.InitPredictions(0.001, 0.5, 0.001, 0, true)
 	bad.RecordPost(0.002)
 	if bad.SavedSeconds != -0.001 || bad.NetSeconds != -0.002 || bad.RegretSeconds != 0.002 || bad.BrokeEven {
 		t.Errorf("regressing format: %+v", bad)
@@ -182,7 +182,7 @@ func TestTraceRender(t *testing.T) {
 		Chosen:                    "DIA",
 		Converted:                 true,
 	}
-	tr.Ledger.InitPredictions(0.001, 0.5, 0.004, true)
+	tr.Ledger.InitPredictions(0.001, 0.5, 0.004, 0, true)
 	out := tr.Render()
 	for _, want := range []string{
 		"decision #3 [bench] at iteration 15",

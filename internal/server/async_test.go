@@ -1,0 +1,190 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+)
+
+// TestVecPoolNoAllocs is the regression guard for the per-request vector
+// pooling: once the pool is warm, a get/use/put cycle must not allocate.
+func TestVecPoolNoAllocs(t *testing.T) {
+	putVec(getVec(2048))
+	allocs := testing.AllocsPerRun(200, func() {
+		p := getVec(2048)
+		(*p)[0] = 1
+		(*p)[2047] = 2
+		putVec(p)
+	})
+	if allocs != 0 {
+		t.Errorf("warm pool get/put allocates %g times per run, want 0", allocs)
+	}
+}
+
+// TestVecPoolRespectsLength: a pooled buffer that is too small must be
+// replaced, and a larger one must be re-sliced to the requested length.
+func TestVecPoolRespectsLength(t *testing.T) {
+	small := getVec(8)
+	putVec(small)
+	big := getVec(1 << 16)
+	if len(*big) != 1<<16 {
+		t.Fatalf("got len %d, want %d", len(*big), 1<<16)
+	}
+	putVec(big)
+	again := getVec(16)
+	if len(*again) != 16 {
+		t.Fatalf("re-sliced len %d, want 16", len(*again))
+	}
+	putVec(again)
+}
+
+// TestSpMVPooledBuffersInterleavedSizes interleaves requests against two
+// matrices of different dimensions so the handlers recycle buffers across
+// sizes; every response must still match the locally computed product (a
+// stale or mis-sliced pooled vector would show up immediately).
+func TestSpMVPooledBuffersInterleavedSizes(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	specs := []GenerateSpec{
+		{Family: "banded", Size: 700, Degree: 5, Seed: 1},
+		{Family: "random", Size: 300, Degree: 4, Seed: 2},
+	}
+	type mat struct {
+		info  MatrixInfo
+		local *sparse.CSR
+	}
+	var ms []mat
+	for _, sp := range specs {
+		info := register(t, ts.URL, RegisterRequest{Name: sp.Family, Generate: &sp})
+		fam, err := parseFamily(sp.Family)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := matgen.Generate(matgen.Spec{
+			Name: sp.Family, Family: fam, Size: sp.Size, Degree: sp.Degree, Seed: sp.Seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, mat{info, local})
+	}
+	for round := 0; round < 3; round++ {
+		for _, m := range ms {
+			x := make([]float64, m.info.Cols)
+			for i := range x {
+				x[i] = float64((i+round)%5) - 2
+			}
+			var sr SpMVResponse
+			code, body := call(t, "POST", ts.URL+"/v1/matrices/"+m.info.ID+"/spmv",
+				SpMVRequest{X: [][]float64{x}}, &sr)
+			if code != http.StatusOK {
+				t.Fatalf("spmv: status %d body %s", code, body)
+			}
+			want := make([]float64, m.info.Rows)
+			m.local.SpMV(want, x)
+			for i := range want {
+				if math.Abs(sr.Y[0][i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+					t.Fatalf("round %d %s: y[%d] = %g, want %g", round, m.info.Name, i, sr.Y[0][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncSolveEndToEnd runs a solve on an Async server: the stage-2
+// pipeline must be dispatched to the background, adopted at a request/swap
+// boundary, and the journaled trace must report its feature+decide time as
+// hidden — with the ledger charging only the paid (stage-1) share.
+func TestAsyncSolveEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{Preds: core.NewPredictors(), Selector: testSelector(), Async: true})
+	info := register(t, ts.URL, RegisterRequest{
+		Name:     "poisson",
+		Generate: &GenerateSpec{Family: "stencil2d", Size: 3600},
+	})
+	var sol SolveResponse
+	code, body := call(t, "POST", ts.URL+"/v1/matrices/"+info.ID+"/solve",
+		SolveRequest{App: "jacobi", Tol: 1e-12, MaxIters: 120}, &sol)
+	if code != http.StatusOK {
+		t.Fatalf("solve: status %d body %s", code, body)
+	}
+	// Make adoption deterministic: the background job almost certainly
+	// finished during the 120-iteration solve, but only a swap point may
+	// install it.
+	h, ok := s.Registry().Get(info.ID)
+	if !ok {
+		t.Fatal("handle vanished")
+	}
+	h.SA.WaitPending()
+
+	var got MatrixInfo
+	if code, _ := call(t, "GET", ts.URL+"/v1/matrices/"+info.ID, nil, &got); code != http.StatusOK {
+		t.Fatal("get failed")
+	}
+	sel := got.Selector
+	if !sel.Async || !sel.Stage2Ran || sel.Pending || sel.Canceled {
+		t.Fatalf("selector stats after adoption: %+v", sel)
+	}
+	if sel.HiddenSeconds <= 0 {
+		t.Errorf("HiddenSeconds = %g, want > 0 (features + decide ran overlapped)", sel.HiddenSeconds)
+	}
+	if sel.PaidSeconds <= 0 {
+		t.Errorf("PaidSeconds = %g, want > 0 (stage 1 is always inline)", sel.PaidSeconds)
+	}
+
+	var tr obs.DecisionTrace
+	code, body = call(t, "GET", ts.URL+"/v1/trace/"+info.ID, nil, &tr)
+	if code != http.StatusOK {
+		t.Fatalf("trace: status %d body %s", code, body)
+	}
+	if !tr.Async || !tr.Stage2Ran || tr.Canceled {
+		t.Fatalf("trace flags: %+v", tr)
+	}
+	if tr.HiddenSeconds <= 0 || tr.Ledger.HiddenSeconds != tr.HiddenSeconds {
+		t.Errorf("trace hidden = %g, ledger hidden = %g; want equal and > 0",
+			tr.HiddenSeconds, tr.Ledger.HiddenSeconds)
+	}
+	if tr.Ledger.OverheadSeconds != tr.PaidSeconds {
+		t.Errorf("ledger charges %g, paid share is %g", tr.Ledger.OverheadSeconds, tr.PaidSeconds)
+	}
+	// The split partitions the total (up to float summation order; the two
+	// sides accumulate the same regions in different groupings).
+	total := tr.FeatureSeconds + tr.PredictSeconds + tr.ConvertSeconds
+	if diff := math.Abs(tr.PaidSeconds + tr.HiddenSeconds - total); diff > 1e-12*(1+total) {
+		t.Errorf("paid %g + hidden %g != overhead total %g", tr.PaidSeconds, tr.HiddenSeconds, total)
+	}
+	// The net-saving identity must hold exactly: hidden seconds never enter.
+	if tr.Ledger.PostSpMVCalls > 0 {
+		if want := tr.Ledger.SavedSeconds - tr.Ledger.OverheadSeconds; tr.Ledger.NetSeconds != want {
+			t.Errorf("NetSeconds = %g, want exactly SavedSeconds - paid = %g", tr.Ledger.NetSeconds, want)
+		}
+	}
+}
+
+// TestDeleteWithInFlightPipeline deletes a handle right after the gate
+// fires, while its background stage-2 job may still be running: the DELETE
+// must complete (removeLocked calls SA.Close, which never blocks on the
+// worker) and the server must stay healthy.
+func TestDeleteWithInFlightPipeline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Preds: core.NewPredictors(), Selector: testSelector(), Async: true})
+	info := register(t, ts.URL, RegisterRequest{
+		Name:     "pl",
+		Generate: &GenerateSpec{Family: "powerlaw", Size: 5000, Degree: 8, Seed: 3},
+	})
+	// Exactly K iterations: the pipeline launches on the last progress
+	// report and the solve returns immediately after.
+	code, body := call(t, "POST", ts.URL+"/v1/matrices/"+info.ID+"/solve",
+		SolveRequest{App: "power", Tol: 1e-15, MaxIters: 15}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("solve: status %d body %s", code, body)
+	}
+	if code, _ := call(t, "DELETE", ts.URL+"/v1/matrices/"+info.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d body %s", code, body)
+	}
+	if code, _, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz after delete: %d", code)
+	}
+}

@@ -206,6 +206,7 @@ func (m *Metrics) Families(team *parallel.Team, extra ...obs.Family) []obs.Famil
 			obs.ScalarFamily("ocsd_team_width", "Parallel width of the worker team.", obs.KindGauge, float64(st.Width)),
 			obs.ScalarFamily("ocsd_team_dispatches_total", "Parallel regions dispatched through the worker team.", obs.KindCounter, float64(st.Dispatches)),
 			obs.ScalarFamily("ocsd_team_woken_total", "Workers woken across all team dispatches.", obs.KindCounter, float64(st.Woken)),
+			obs.ScalarFamily("ocsd_team_async_jobs_total", "Standalone background jobs (async stage-2 pipelines) run through the team.", obs.KindCounter, float64(st.AsyncJobs)),
 		)
 	}
 	fams = append(fams, runtimeFamilies()...)

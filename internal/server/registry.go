@@ -192,6 +192,11 @@ func (r *Registry) Delete(id string) bool {
 // r.mu and has verified the ID exists.
 func (r *Registry) removeLocked(id string) {
 	e := r.entries[id]
+	// Abandon any in-flight background conversion: a deleted or evicted
+	// handle will never adopt it, and Close must not wait for it (the
+	// background worker only takes the handle's own lock, never r.mu, so
+	// calling it here cannot deadlock).
+	e.h.SA.Close()
 	r.lru.Remove(e.elem)
 	delete(r.entries, id)
 	r.curNNZ -= int64(e.h.NNZ)

@@ -69,6 +69,12 @@ type Config struct {
 	// Selector overrides the selector configuration; nil uses
 	// core.DefaultConfig().
 	Selector *core.Config
+	// Async runs each handle's stage-2 pipeline (feature extraction, model
+	// inference, format conversion) on a background worker instead of
+	// stalling the request that triggered it; the converted matrix is
+	// swapped in atomically at the next request boundary. See
+	// core.Config.Async.
+	Async bool
 	// SerialKernels switches the handles to the serial SpMV kernels
 	// (useful when the pool already saturates all cores with many small
 	// matrices).
@@ -462,6 +468,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Selector != nil {
 		selCfg = *s.cfg.Selector
 	}
+	if s.cfg.Async {
+		selCfg.Async = true
+	}
 	// Every handle's selector writes into the shared journal; the label
 	// carries the caller-facing name (the handle ID is not assigned yet —
 	// /v1/trace/{id} resolves ID → trace through the handle instead).
@@ -541,7 +550,23 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// A request boundary is a swap point: no SpMV of ours is in flight yet,
+	// so a background conversion that finished since the last request is
+	// installed here, atomically under the handle lock.
+	h.SA.SwapPoint()
 	ys := make([][]float64, len(req.X))
+	bufs := make([]*[]float64, len(req.X))
+	for i := range bufs {
+		bufs[i] = getVec(h.Rows)
+		ys[i] = *bufs[i]
+	}
+	// The pooled buffers back the response slices; release them only after
+	// writeJSON has encoded the body (the deferred call runs last).
+	defer func() {
+		for _, b := range bufs {
+			putVec(b)
+		}
+	}()
 	wait := timing.StartStopwatch(nil)
 	err := s.pool.Do(r.Context(), func() error {
 		s.metrics.QueueWaitSeconds.Observe(wait.Seconds())
@@ -551,9 +576,7 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 			if err := r.Context().Err(); err != nil {
 				return err
 			}
-			y := make([]float64, h.Rows)
-			h.SA.SpMV(y, x)
-			ys[i] = y
+			h.SA.SpMV(ys[i], x)
 		}
 		return nil
 	})
@@ -615,7 +638,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	needB := req.App != "pagerank" && req.App != "power"
 	if needB {
 		if b == nil {
-			b = make([]float64, h.Rows)
+			bp := getVec(h.Rows)
+			defer putVec(bp)
+			b = *bp
 			for i := range b {
 				b[i] = 1
 			}

@@ -1,0 +1,31 @@
+package server
+
+import "sync"
+
+// vecPool recycles the per-request work vectors of the spmv and solve
+// handlers. Result vectors are allocated per request (they are written
+// concurrently with JSON encoding of the previous response otherwise), and
+// at thousands of requests per second those make([]float64, rows) calls
+// are pure garbage-collector load. The pool stores *[]float64 rather than
+// []float64 so Get/Put themselves stay allocation-free (a slice header in
+// an interface escapes; a pointer to one does not).
+var vecPool sync.Pool
+
+// getVec returns a length-n float64 slice from the pool, allocating only
+// when the pool is empty or the pooled buffer is too small. The contents
+// are NOT zeroed: every caller fully overwrites the slice (SpMV kernels
+// write all of y; the solve path fills b explicitly).
+func getVec(n int) *[]float64 {
+	if p, _ := vecPool.Get().(*[]float64); p != nil && cap(*p) >= n {
+		*p = (*p)[:n]
+		return p
+	}
+	b := make([]float64, n)
+	return &b
+}
+
+// putVec returns a buffer to the pool. The caller must not touch the slice
+// afterwards.
+func putVec(p *[]float64) {
+	vecPool.Put(p)
+}
