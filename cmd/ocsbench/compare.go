@@ -98,12 +98,27 @@ func compareReports(baseline, fresh *Report, threshold float64) (regs []regressi
 	return regs, matched
 }
 
+// gomaxprocsNote flags baselines recorded at a different parallel width than
+// the fresh run: dispatch and parallel-spmv ns/op scale with GOMAXPROCS, so
+// cross-width diffs measure the machine delta, not a code regression.
+// Returns "" when the widths match or either report predates the field.
+func gomaxprocsNote(baseline, fresh *Report) string {
+	if baseline.GOMAXPROCS == 0 || fresh.GOMAXPROCS == 0 || baseline.GOMAXPROCS == fresh.GOMAXPROCS {
+		return ""
+	}
+	return fmt.Sprintf("warning: baseline was recorded at GOMAXPROCS=%d but this run used GOMAXPROCS=%d; dispatch and parallel spmv times are not directly comparable (rerun with -procs %d or refresh the baseline)",
+		baseline.GOMAXPROCS, fresh.GOMAXPROCS, baseline.GOMAXPROCS)
+}
+
 // runCompare loads the baseline, diffs the fresh report against it, prints a
 // verdict, and reports whether the run regressed.
 func runCompare(baselinePath string, fresh *Report, threshold float64) (failed bool, err error) {
 	baseline, err := loadReport(baselinePath)
 	if err != nil {
 		return false, fmt.Errorf("loading baseline: %w", err)
+	}
+	if note := gomaxprocsNote(baseline, fresh); note != "" {
+		fmt.Println(note)
 	}
 	regs, matched := compareReports(baseline, fresh, threshold)
 	if matched == 0 {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -53,6 +54,30 @@ func TestCompareReportsKeepsFastestPerKey(t *testing.T) {
 	regs, matched := compareReports(baseline, fresh, 0.25)
 	if matched != 1 || len(regs) != 0 {
 		t.Errorf("matched %d regs %d, want 1 and 0 (fastest-per-key comparison)", matched, len(regs))
+	}
+}
+
+func TestGomaxprocsNote(t *testing.T) {
+	mk := func(procs int) *Report { return &Report{GOMAXPROCS: procs} }
+	if note := gomaxprocsNote(mk(8), mk(8)); note != "" {
+		t.Errorf("matching widths produced a note: %q", note)
+	}
+	// Reports written before the field existed unmarshal to 0: no note, the
+	// widths are simply unknown.
+	if note := gomaxprocsNote(mk(0), mk(8)); note != "" {
+		t.Errorf("legacy baseline produced a note: %q", note)
+	}
+	if note := gomaxprocsNote(mk(8), mk(0)); note != "" {
+		t.Errorf("legacy fresh report produced a note: %q", note)
+	}
+	note := gomaxprocsNote(mk(16), mk(4))
+	if note == "" {
+		t.Fatal("mismatched widths produced no note")
+	}
+	for _, want := range []string{"GOMAXPROCS=16", "GOMAXPROCS=4", "-procs 16"} {
+		if !strings.Contains(note, want) {
+			t.Errorf("note %q missing %q", note, want)
+		}
 	}
 }
 

@@ -114,6 +114,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline JSON to diff this run against; exit 1 on dispatch/spmv regressions")
 	threshold := flag.Float64("threshold", 0.25, "fractional ns/op growth tolerated by -compare")
 	trace := flag.Bool("trace", false, "skip the benchmarks; run the adaptive selector on each bench matrix and print its decision trace")
+	target := flag.String("target", "", "benchmark a running ocsd/ocsrouter at this base URL (end-to-end HTTP round trips) instead of the in-process kernels")
 	asyncBench := flag.Bool("async", false, "also time end-to-end adaptive loops with inline vs background stage-2 (kind \"async\" records)")
 	flag.Parse()
 
@@ -145,6 +146,20 @@ func main() {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 	}
 
+	if *target != "" {
+		recs, err := remoteRecords(*target, *size, *degree, *seed, *minTime, maxProcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report.Records = recs
+		writeReport(&report, *out, maxProcs)
+		for _, rec := range recs {
+			fmt.Printf("remote %s/%-9s %12.1f ns/op (%d iters, nnz %d)\n",
+				rec.Matrix, rec.Variant, rec.NsPerOp, rec.Iters, rec.NNZ)
+		}
+		return
+	}
+
 	report.Records = append(report.Records, dispatchRecords(*minTime, maxProcs)...)
 
 	for _, fam := range []matgen.Family{matgen.FamBanded, matgen.FamRandom, matgen.FamPowerLaw, matgen.FamBlock} {
@@ -167,18 +182,7 @@ func main() {
 		report.Records = append(report.Records, recs...)
 	}
 
-	if *out != "" {
-		data, err := json.MarshalIndent(&report, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d, NumCPU=%d)\n",
-			len(report.Records), *out, maxProcs, report.NumCPU)
-	}
+	writeReport(&report, *out, maxProcs)
 	printSummary(&report)
 	if *compare != "" {
 		failed, err := runCompare(*compare, &report, *threshold)
@@ -189,6 +193,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// writeReport serializes the report to path ("" skips the write).
+func writeReport(report *Report, path string, maxProcs int) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s (GOMAXPROCS=%d, NumCPU=%d)\n",
+		len(report.Records), path, maxProcs, report.NumCPU)
 }
 
 // dispatchRecords times raw dispatch overhead: the same streaming body run

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Metrics is the router's telemetry: request counters, the replica/failover
+// accounting the load balancer produces, and per-shard latency histograms
+// (one labeled series per shard in a single Prometheus family).
+type Metrics struct {
+	RequestsTotal    atomic.Int64 // requests routed to /v1 handlers
+	RequestErrors    atomic.Int64 // requests answered 4xx/5xx
+	RegisterRequests atomic.Int64
+	SpMVRequests     atomic.Int64
+	SolveRequests    atomic.Int64
+
+	// Placement/balancing outcomes.
+	PrimaryHits     atomic.Int64 // reads served by a handle's primary copy
+	ReplicaHits     atomic.Int64 // reads served by a replica copy
+	Failovers       atomic.Int64 // per-request shard switches after a retryable failure
+	Replications    atomic.Int64 // hot handles copied onto an additional shard
+	Rebalances      atomic.Int64 // handles re-homed off a draining shard
+	PartialFanouts  atomic.Int64 // distributed SpMV gathers (one per batched request... per SpMV call)
+	PartitionedRegs atomic.Int64 // registrations that row-partitioned
+
+	// Router-side end-to-end latency (includes shard round trips).
+	SpMVSeconds  *obs.Histogram
+	SolveSeconds *obs.Histogram
+
+	mu sync.Mutex
+	// shardSeconds times individual shard round trips, keyed by shard name;
+	// shardErrors counts failed round trips per shard.
+	shardSeconds map[string]*obs.Histogram
+	shardErrors  map[string]*atomic.Int64
+}
+
+// NewMetrics builds the router telemetry set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		SpMVSeconds:  obs.NewLatencyHistogram(),
+		SolveSeconds: obs.NewLatencyHistogram(),
+		shardSeconds: make(map[string]*obs.Histogram),
+		shardErrors:  make(map[string]*atomic.Int64),
+	}
+}
+
+// ObserveShard records one shard round trip: its wall time and whether it
+// failed. Series are created lazily the first time a shard is observed.
+func (m *Metrics) ObserveShard(shard string, seconds float64, failed bool) {
+	m.mu.Lock()
+	h, ok := m.shardSeconds[shard]
+	if !ok {
+		h = obs.NewLatencyHistogram()
+		m.shardSeconds[shard] = h
+		m.shardErrors[shard] = &atomic.Int64{}
+	}
+	e := m.shardErrors[shard]
+	m.mu.Unlock()
+	h.Observe(seconds)
+	if failed {
+		e.Add(1)
+	}
+}
+
+// Families assembles the Prometheus families, deterministic order. shards
+// supplies the current membership so health gauges appear even before a
+// shard has served a request.
+func (m *Metrics) Families(shards []*ShardClient, extra ...obs.Family) []obs.Family {
+	fams := []obs.Family{
+		obs.ScalarFamily("ocsrouter_requests_total", "Requests routed to /v1 handlers.", obs.KindCounter, float64(m.RequestsTotal.Load())),
+		obs.ScalarFamily("ocsrouter_request_errors_total", "Requests answered with a 4xx/5xx status.", obs.KindCounter, float64(m.RequestErrors.Load())),
+		obs.ScalarFamily("ocsrouter_register_requests_total", "Matrix registrations routed.", obs.KindCounter, float64(m.RegisterRequests.Load())),
+		obs.ScalarFamily("ocsrouter_spmv_requests_total", "SpMV requests routed.", obs.KindCounter, float64(m.SpMVRequests.Load())),
+		obs.ScalarFamily("ocsrouter_solve_requests_total", "Solve requests routed.", obs.KindCounter, float64(m.SolveRequests.Load())),
+		obs.ScalarFamily("ocsrouter_primary_hits_total", "Reads served by a handle's primary copy.", obs.KindCounter, float64(m.PrimaryHits.Load())),
+		obs.ScalarFamily("ocsrouter_replica_hits_total", "Reads served by a replica copy.", obs.KindCounter, float64(m.ReplicaHits.Load())),
+		obs.ScalarFamily("ocsrouter_failovers_total", "Requests retried on another copy after a retryable shard failure.", obs.KindCounter, float64(m.Failovers.Load())),
+		obs.ScalarFamily("ocsrouter_replications_total", "Hot handles replicated onto an additional shard.", obs.KindCounter, float64(m.Replications.Load())),
+		obs.ScalarFamily("ocsrouter_rebalances_total", "Handles re-homed off a draining shard.", obs.KindCounter, float64(m.Rebalances.Load())),
+		obs.ScalarFamily("ocsrouter_partial_fanouts_total", "Distributed SpMV fan-out/gather operations.", obs.KindCounter, float64(m.PartialFanouts.Load())),
+		obs.ScalarFamily("ocsrouter_partitioned_registers_total", "Registrations placed as row-partitioned blocks.", obs.KindCounter, float64(m.PartitionedRegs.Load())),
+	}
+
+	up := obs.Family{
+		Name: "ocsrouter_shard_up",
+		Help: "Shard health as seen by the router (1 healthy, 0 unreachable or draining).",
+		Kind: obs.KindGauge,
+	}
+	fails := obs.Family{
+		Name: "ocsrouter_shard_consecutive_failures",
+		Help: "Consecutive failed probes/requests per shard (drives probe backoff).",
+		Kind: obs.KindGauge,
+	}
+	for _, sc := range shards {
+		v := 0.0
+		if sc.Healthy() {
+			v = 1
+		}
+		label := []obs.Label{{Key: "shard", Value: sc.Name()}}
+		up.Samples = append(up.Samples, obs.Sample{Labels: label, Value: v})
+		fails.Samples = append(fails.Samples, obs.Sample{Labels: label, Value: float64(sc.ConsecutiveFailures())})
+	}
+	obs.SortSamples(&up)
+	obs.SortSamples(&fails)
+	fams = append(fams, up, fails)
+
+	fams = append(fams,
+		obs.HistFamily("ocsrouter_spmv_seconds", "End-to-end router time for spmv requests, shard round trips included.", m.SpMVSeconds.Snapshot()),
+		obs.HistFamily("ocsrouter_solve_seconds", "End-to-end router time for solve requests, shard round trips included.", m.SolveSeconds.Snapshot()),
+	)
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.shardSeconds))
+	for n := range m.shardSeconds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	lat := obs.Family{
+		Name: "ocsrouter_shard_request_seconds",
+		Help: "Latency of individual shard round trips, labeled by shard.",
+		Kind: obs.KindHistogram,
+	}
+	errs := obs.Family{
+		Name: "ocsrouter_shard_request_errors_total",
+		Help: "Failed shard round trips, labeled by shard.",
+		Kind: obs.KindCounter,
+	}
+	for _, n := range names {
+		label := []obs.Label{{Key: "shard", Value: n}}
+		lat.Samples = append(lat.Samples, obs.Sample{Labels: label, Hist: m.shardSeconds[n].Snapshot()})
+		errs.Samples = append(errs.Samples, obs.Sample{Labels: label, Value: float64(m.shardErrors[n].Load())})
+	}
+	m.mu.Unlock()
+	fams = append(fams, lat, errs)
+	fams = append(fams, extra...)
+	return fams
+}
+
+// Snapshot renders the counters as a JSON-ready map (the ?format=json
+// document, mirroring the ocsd convention).
+func (m *Metrics) Snapshot(shards []*ShardClient) map[string]any {
+	byShard := map[string]any{}
+	m.mu.Lock()
+	for n, h := range m.shardSeconds {
+		s := h.Snapshot()
+		byShard[n] = map[string]any{
+			"count": s.Count, "sum": s.Sum, "mean": s.Mean(),
+			"errors": m.shardErrors[n].Load(),
+		}
+	}
+	m.mu.Unlock()
+	health := map[string]bool{}
+	for _, sc := range shards {
+		health[sc.Name()] = sc.Healthy()
+	}
+	return map[string]any{
+		"requests_total":        m.RequestsTotal.Load(),
+		"request_errors":        m.RequestErrors.Load(),
+		"register_requests":     m.RegisterRequests.Load(),
+		"spmv_requests":         m.SpMVRequests.Load(),
+		"solve_requests":        m.SolveRequests.Load(),
+		"primary_hits":          m.PrimaryHits.Load(),
+		"replica_hits":          m.ReplicaHits.Load(),
+		"failovers":             m.Failovers.Load(),
+		"replications":          m.Replications.Load(),
+		"rebalances":            m.Rebalances.Load(),
+		"partial_fanouts":       m.PartialFanouts.Load(),
+		"partitioned_registers": m.PartitionedRegs.Load(),
+		"shard_latency":         byShard,
+		"shard_healthy":         health,
+	}
+}

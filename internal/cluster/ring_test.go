@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingLookupDeterministicAndBalanced(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("g%d", i)
+		owner := r.Lookup(key)
+		if owner == "" {
+			t.Fatalf("Lookup(%q) returned no owner", key)
+		}
+		if again := r.Lookup(key); again != owner {
+			t.Fatalf("Lookup(%q) unstable: %q then %q", key, owner, again)
+		}
+		counts[owner]++
+	}
+	// 64 vnodes per member keeps the split within loose bounds; an owner
+	// under 15% means the ring is effectively broken, not just unlucky.
+	for m, c := range counts {
+		if c < 450 || c > 1800 {
+			t.Errorf("member %s owns %d/3000 keys, outside [450, 1800]", m, c)
+		}
+	}
+}
+
+func TestRingRemoveOnlyMovesRemovedKeys(t *testing.T) {
+	r := NewRing(64)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	before := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("g%d", i)
+		before[key] = r.Lookup(key)
+	}
+	r.Remove("b")
+	for key, owner := range before {
+		got := r.Lookup(key)
+		if owner == "b" {
+			if got == "b" || got == "" {
+				t.Fatalf("key %q still owned by removed member (got %q)", key, got)
+			}
+			continue
+		}
+		// The consistent-hashing contract: keys not owned by the removed
+		// member keep their owner.
+		if got != owner {
+			t.Errorf("key %q moved %q -> %q though %q stayed a member", key, owner, got, owner)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndOrdered(t *testing.T) {
+	r := NewRing(32)
+	members := []string{"s1", "s2", "s3", "s4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("Successors(%q, 3) returned %d members", key, len(succ))
+		}
+		if succ[0] != r.Lookup(key) {
+			t.Fatalf("Successors(%q)[0] = %q, Lookup = %q", key, succ[0], r.Lookup(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("Successors(%q) repeated member %q: %v", key, m, succ)
+			}
+			seen[m] = true
+		}
+	}
+	// Asking for more members than exist returns everyone, once each.
+	all := r.Successors("x", 10)
+	if len(all) != len(members) {
+		t.Errorf("Successors(x, 10) returned %d members, want %d", len(all), len(members))
+	}
+	if got := NewRing(8).Lookup("anything"); got != "" {
+		t.Errorf("empty ring Lookup returned %q", got)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err       error
+		retryable bool
+		transport bool
+	}{
+		{nil, false, false},
+		{&StatusError{Code: 400, Msg: "bad"}, false, false},
+		{&StatusError{Code: 404, Msg: "gone"}, false, false},
+		{&StatusError{Code: 502, Msg: "overload"}, true, false},
+		{&StatusError{Code: 503, Msg: "draining"}, true, false},
+		{&StatusError{Code: 504, Msg: "slow"}, true, false},
+		{fmt.Errorf("connection refused"), true, true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.retryable {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.retryable)
+		}
+		if got := transportFailure(c.err); got != c.transport {
+			t.Errorf("transportFailure(%v) = %v, want %v", c.err, got, c.transport)
+		}
+	}
+}

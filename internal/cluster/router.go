@@ -1,0 +1,1487 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/matgen"
+	"repro/internal/mmio"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/sparse"
+)
+
+// Config sizes the router. Zero values get production-ready defaults.
+type Config struct {
+	// Shards lists the initial shard base URLs (scheme://host:port).
+	Shards []string
+	// VNodes is the virtual-node count per shard on the hash ring
+	// (default 64).
+	VNodes int
+	// ReplicationFactor is the target number of copies for a hot whole
+	// handle, primary included (default 2).
+	ReplicationFactor int
+	// ReplicateAfter is the spmv-vector count past which a whole handle is
+	// considered hot and replicated toward ReplicationFactor; 0 disables
+	// replication.
+	ReplicateAfter int64
+	// PartitionMaxNNZ auto-partitions matrices with more nonzeros than this
+	// into row blocks of at most roughly this many nnz each; 0 disables
+	// auto-partitioning (explicit partition requests still work).
+	PartitionMaxNNZ int64
+	// RequestTimeout bounds each shard round trip (default 2 min).
+	RequestTimeout time.Duration
+	// ProbeInterval is the health-check cadence per shard (default 2s);
+	// consecutive failures back the cadence off exponentially.
+	ProbeInterval time.Duration
+	// MaxBodyBytes bounds request bodies (default 64 MB).
+	MaxBodyBytes int64
+	// Logger receives structured logs; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ReplicationFactor <= 0 {
+		c.ReplicationFactor = 2
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// shardRef is one hosted copy of a whole handle.
+type shardRef struct {
+	shard    *ShardClient
+	remoteID string
+}
+
+// partRef is one hosted row block of a partitioned handle.
+type partRef struct {
+	lo, hi   int
+	shard    *ShardClient
+	remoteID string
+}
+
+// route is the router's record of one global handle: identity, geometry,
+// and where its copies or blocks live. The route mutex guards placement and
+// usage counters; it is never held across a shard round trip.
+type route struct {
+	mu          sync.Mutex
+	id          string
+	name        string
+	rows, cols  int
+	nnz         int
+	tol         float64
+	fingerprint string
+	duplicateOf string
+	transition  bool
+	// dangling and diag are kept router-side for partitioned handles: the
+	// router runs the solver itself there, and PageRank needs the flags
+	// while PCG/Jacobi need the diagonal before the blocks scatter.
+	dangling []bool
+	diag     []float64
+
+	partitioned bool
+	primary     shardRef
+	replicas    []shardRef
+	parts       []partRef
+
+	replicating bool // a replication attempt is in flight
+	rr          int  // round-robin cursor over copies
+	spmvCalls   int64
+	solveCalls  int64
+}
+
+// Router is the routing node: hash ring, shard membership and health,
+// per-handle placement, and the /v1 front-end that speaks the same JSON as
+// ocsd itself.
+type Router struct {
+	cfg     Config
+	log     *slog.Logger
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	mu     sync.Mutex
+	ring   *Ring
+	shards map[string]*ShardClient
+	routes map[string]*route
+	nextID atomic.Int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a Router over the configured shards and starts its health
+// loop. Call Close to stop background work.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: at least one shard URL is required")
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	r := &Router{
+		cfg:     cfg,
+		log:     logger,
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		ring:    NewRing(cfg.VNodes),
+		shards:  make(map[string]*ShardClient),
+		routes:  make(map[string]*route),
+		stopCh:  make(chan struct{}),
+	}
+	for _, u := range cfg.Shards {
+		sc, err := NewShardClient(u, cfg.RequestTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := r.shards[sc.Name()]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard %s", sc.Name())
+		}
+		r.shards[sc.Name()] = sc
+		r.ring.Add(sc.Name())
+	}
+	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
+	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
+	r.mux.HandleFunc("GET /admin/shards", r.handleShards)
+	r.mux.Handle("POST /admin/shards", r.track(r.handleAddShard))
+	r.mux.Handle("POST /admin/drain", r.track(r.handleDrain))
+	r.mux.Handle("POST /v1/matrices", r.track(r.handleRegister))
+	r.mux.Handle("GET /v1/matrices", r.track(r.handleList))
+	r.mux.Handle("GET /v1/matrices/{id}", r.track(r.handleGet))
+	r.mux.Handle("DELETE /v1/matrices/{id}", r.track(r.handleDelete))
+	r.mux.Handle("POST /v1/matrices/{id}/spmv", r.track(r.handleSpMV))
+	r.mux.Handle("POST /v1/matrices/{id}/solve", r.track(r.handleSolve))
+
+	r.wg.Add(1)
+	go r.healthLoop()
+	return r, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Metrics exposes the router telemetry (primarily for tests and the daemon).
+func (r *Router) Metrics() *Metrics { return r.metrics }
+
+// Close stops the health loop and waits for background replication work.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	r.wg.Wait()
+}
+
+// ---- health ----
+
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case now := <-t.C:
+			for _, sc := range r.shardList() {
+				if sc.Draining() || !sc.shouldProbe(now, r.cfg.ProbeInterval) {
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ProbeInterval)
+				wasHealthy := sc.Healthy()
+				err := sc.Probe(ctx)
+				cancel()
+				if err != nil && wasHealthy {
+					r.log.Warn("shard unhealthy", "shard", sc.Name(), "error", err)
+				} else if err == nil && !wasHealthy {
+					r.log.Info("shard recovered", "shard", sc.Name())
+				}
+			}
+		}
+	}
+}
+
+// shardList snapshots the membership, sorted by name.
+func (r *Router) shardList() []*ShardClient {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*ShardClient, 0, len(r.shards))
+	for _, sc := range r.shards {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// successorClients resolves the ring's placement sequence for a key into
+// clients, healthy ones first (ring order preserved within each class), so
+// callers can walk the list as a failover chain.
+func (r *Router) successorClients(key string, n int) []*ShardClient {
+	r.mu.Lock()
+	names := r.ring.Successors(key, n)
+	clients := make([]*ShardClient, 0, len(names))
+	for _, name := range names {
+		if sc, ok := r.shards[name]; ok {
+			clients = append(clients, sc)
+		}
+	}
+	r.mu.Unlock()
+	healthy := make([]*ShardClient, 0, len(clients))
+	var rest []*ShardClient
+	for _, sc := range clients {
+		if sc.Healthy() {
+			healthy = append(healthy, sc)
+		} else if !sc.Draining() {
+			rest = append(rest, sc)
+		}
+	}
+	return append(healthy, rest...)
+}
+
+// ---- plumbing (mirrors the ocsd server's conventions) ----
+
+func (r *Router) track(h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.metrics.RequestsTotal.Add(1)
+		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
+		h(w, req)
+	})
+}
+
+func (r *Router) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (r *Router) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	r.metrics.RequestErrors.Add(1)
+	msg := fmt.Sprintf(format, args...)
+	if code >= 500 {
+		r.log.Warn("request failed", "status", code, "error", msg)
+	}
+	r.writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// failShard maps a shard round-trip error onto the router's response: shard
+// HTTP statuses pass through (a 404/400 means the same thing one hop up),
+// transport failures become 502.
+func (r *Router) failShard(w http.ResponseWriter, err error) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		r.fail(w, se.Code, "%s", se.Msg)
+		return
+	}
+	r.fail(w, http.StatusBadGateway, "shard unreachable: %v", err)
+}
+
+func (r *Router) decode(w http.ResponseWriter, req *http.Request, v any) bool {
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		r.fail(w, http.StatusBadRequest, "decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (r *Router) lookup(w http.ResponseWriter, req *http.Request) (*route, bool) {
+	id := req.PathValue("id")
+	r.mu.Lock()
+	rt, ok := r.routes[id]
+	r.mu.Unlock()
+	if !ok {
+		r.fail(w, http.StatusNotFound, "no matrix %q", id)
+		return nil, false
+	}
+	return rt, true
+}
+
+// callShard runs one shard round trip with latency/error accounting and
+// health bookkeeping.
+func callShard[T any](r *Router, sc *ShardClient, f func() (T, error)) (T, error) {
+	start := time.Now()
+	v, err := f()
+	r.metrics.ObserveShard(sc.Name(), time.Since(start).Seconds(), err != nil)
+	if err != nil {
+		sc.markFailure(transportFailure(err))
+	} else {
+		sc.markSuccess()
+	}
+	return v, err
+}
+
+// ---- endpoints ----
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	healthy := 0
+	shards := r.shardList()
+	for _, sc := range shards {
+		if sc.Healthy() {
+			healthy++
+		}
+	}
+	status := http.StatusOK
+	state := "ok"
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+		state = "no healthy shards"
+	}
+	r.writeJSON(w, status, map[string]any{"status": state, "shards": len(shards), "healthy": healthy})
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	shards := r.shardList()
+	if req.URL.Query().Get("format") == "json" {
+		snap := r.metrics.Snapshot(shards)
+		r.mu.Lock()
+		snap["handles"] = len(r.routes)
+		r.mu.Unlock()
+		r.writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	r.mu.Lock()
+	handles := len(r.routes)
+	members := len(r.ring.Members())
+	r.mu.Unlock()
+	w.Header().Set("Content-Type", obs.ContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteText(w, r.metrics.Families(shards,
+		obs.ScalarFamily("ocsrouter_handles", "Global handles currently routed.", obs.KindGauge, float64(handles)),
+		obs.ScalarFamily("ocsrouter_ring_members", "Shards currently on the hash ring.", obs.KindGauge, float64(members)),
+	))
+}
+
+func (r *Router) shardStatuses() []ShardStatus {
+	counts := map[string]int{}
+	r.mu.Lock()
+	for _, rt := range r.routes {
+		rt.mu.Lock()
+		if rt.partitioned {
+			for _, p := range rt.parts {
+				counts[p.shard.Name()]++
+			}
+		} else {
+			counts[rt.primary.shard.Name()]++
+			for _, rep := range rt.replicas {
+				counts[rep.shard.Name()]++
+			}
+		}
+		rt.mu.Unlock()
+	}
+	r.mu.Unlock()
+	var out []ShardStatus
+	for _, sc := range r.shardList() {
+		out = append(out, ShardStatus{
+			Shard:               sc.Name(),
+			Healthy:             sc.Healthy(),
+			Draining:            sc.Draining(),
+			ConsecutiveFailures: sc.ConsecutiveFailures(),
+			Handles:             counts[sc.Name()],
+		})
+	}
+	return out
+}
+
+func (r *Router) handleShards(w http.ResponseWriter, req *http.Request) {
+	r.writeJSON(w, http.StatusOK, ShardsResponse{Shards: r.shardStatuses()})
+}
+
+// handleAddShard grows the membership: new registrations hash onto the new
+// shard immediately; existing handles stay put (consistent hashing moves
+// only the keys adjacent to the new virtual nodes, and those move lazily —
+// on their next registration, not retroactively).
+func (r *Router) handleAddShard(w http.ResponseWriter, req *http.Request) {
+	var body AddShardRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	sc, err := NewShardClient(body.Shard, r.cfg.RequestTimeout)
+	if err != nil {
+		r.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	r.mu.Lock()
+	if _, dup := r.shards[sc.Name()]; dup {
+		r.mu.Unlock()
+		r.fail(w, http.StatusConflict, "shard %s already a member", sc.Name())
+		return
+	}
+	r.shards[sc.Name()] = sc
+	r.ring.Add(sc.Name())
+	r.mu.Unlock()
+	ctx, cancel := context.WithTimeout(req.Context(), r.cfg.ProbeInterval)
+	defer cancel()
+	_ = sc.Probe(ctx)
+	r.log.Info("shard added", "shard", sc.Name(), "healthy", sc.Healthy())
+	r.writeJSON(w, http.StatusCreated, ShardsResponse{Shards: r.shardStatuses()})
+}
+
+func (r *Router) newID() string {
+	return fmt.Sprintf("g%d", r.nextID.Add(1))
+}
+
+// parseGenFamily resolves a matgen family by name (the router materializes
+// generated matrices itself when it must partition them).
+func parseGenFamily(name string) (matgen.Family, error) {
+	for _, f := range matgen.AllFamilies {
+		if f.String() == strings.ToLower(name) {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown family %q", name)
+}
+
+// materialize builds the CSR (and transition state) a registration
+// describes, mirroring the shard-side logic so partitioned placement sees
+// exactly the operator a single shard would have registered.
+func materialize(req RegisterRequest) (csr *sparse.CSR, dangling []bool, err error) {
+	switch {
+	case req.MatrixMarket != "" && req.Generate != nil:
+		return nil, nil, fmt.Errorf("matrix_market and generate are mutually exclusive")
+	case req.MatrixMarket != "":
+		name := req.Name
+		if name == "" {
+			name = "upload"
+		}
+		csr, err = mmio.ReadNamed(strings.NewReader(req.MatrixMarket), name)
+	case req.Generate != nil:
+		var fam matgen.Family
+		fam, err = parseGenFamily(req.Generate.Family)
+		if err == nil {
+			csr, err = matgen.Generate(matgen.Spec{
+				Name: req.Name, Family: fam, Size: req.Generate.Size,
+				Degree: req.Generate.Degree, Seed: req.Generate.Seed,
+			})
+		}
+	default:
+		return nil, nil, fmt.Errorf("one of matrix_market or generate is required")
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case req.AsTransition && req.Dangling != nil:
+		return nil, nil, fmt.Errorf("as_transition and dangling are mutually exclusive")
+	case req.AsTransition:
+		csr, dangling, err = apps.BuildTransition(csr)
+		if err != nil {
+			return nil, nil, err
+		}
+	case req.Dangling != nil:
+		rows, _ := csr.Dims()
+		if len(req.Dangling) != rows {
+			return nil, nil, fmt.Errorf("dangling has %d flags, matrix has %d rows", len(req.Dangling), rows)
+		}
+		dangling = req.Dangling
+	}
+	return csr, dangling, nil
+}
+
+func (r *Router) handleRegister(w http.ResponseWriter, req *http.Request) {
+	var body RegisterRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	r.metrics.RegisterRequests.Add(1)
+
+	// Only materialize the matrix router-side when a partitioning decision
+	// needs its geometry; plain registrations stream through to one shard.
+	wantParts := 0
+	var csr *sparse.CSR
+	var dangling []bool
+	if body.Partition != nil || r.cfg.PartitionMaxNNZ > 0 {
+		var err error
+		csr, dangling, err = materialize(body)
+		if err != nil {
+			r.fail(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		switch {
+		case body.Partition != nil:
+			wantParts = body.Partition.Parts
+		case int64(csr.NNZ()) > r.cfg.PartitionMaxNNZ:
+			wantParts = int((int64(csr.NNZ()) + r.cfg.PartitionMaxNNZ - 1) / r.cfg.PartitionMaxNNZ)
+		}
+	}
+
+	id := r.newID()
+	if wantParts > 1 {
+		r.registerPartitioned(w, req, id, body, csr, dangling, wantParts)
+		return
+	}
+	r.registerWhole(w, req, id, body)
+}
+
+// registerWhole places the handle on one shard: the ring's owner for the
+// new global ID, failing over down the successor chain.
+func (r *Router) registerWhole(w http.ResponseWriter, req *http.Request, id string, body RegisterRequest) {
+	candidates := r.successorClients(id, len(r.shardList()))
+	if len(candidates) == 0 {
+		r.fail(w, http.StatusServiceUnavailable, "no shards available")
+		return
+	}
+	var info server.MatrixInfo
+	var sc *ShardClient
+	var err error
+	for _, cand := range candidates {
+		sc = cand
+		info, err = callShard(r, sc, func() (server.MatrixInfo, error) {
+			return sc.Register(req.Context(), body.RegisterRequest)
+		})
+		if err == nil {
+			break
+		}
+		if !Retryable(err) {
+			r.failShard(w, err)
+			return
+		}
+		r.metrics.Failovers.Add(1)
+	}
+	if err != nil {
+		r.failShard(w, err)
+		return
+	}
+	rt := &route{
+		id:          id,
+		name:        body.Name,
+		rows:        info.Rows,
+		cols:        info.Cols,
+		nnz:         info.NNZ,
+		tol:         info.Tol,
+		fingerprint: info.Fingerprint,
+		transition:  info.Transition,
+		primary:     shardRef{shard: sc, remoteID: info.ID},
+	}
+	r.insertRoute(rt)
+	r.log.Info("matrix routed", "id", id, "shard", sc.Name(), "remote_id", info.ID,
+		"nnz", info.NNZ, "fingerprint", info.Fingerprint, "duplicate_of", rt.duplicateOf)
+	out := r.routeInfo(rt)
+	out.Handles = []server.MatrixInfo{info}
+	r.writeJSON(w, http.StatusCreated, out)
+}
+
+// registerPartitioned cuts the matrix into nnz-balanced row blocks and
+// spreads them over the ring's successor shards; the route keeps the
+// diagonal and dangling flags so the router can drive solves itself.
+func (r *Router) registerPartitioned(w http.ResponseWriter, req *http.Request, id string, body RegisterRequest, csr *sparse.CSR, dangling []bool, wantParts int) {
+	targets := r.successorClients(id, wantParts)
+	healthy := targets[:0]
+	for _, sc := range targets {
+		if sc.Healthy() {
+			healthy = append(healthy, sc)
+		}
+	}
+	if len(healthy) == 0 {
+		r.fail(w, http.StatusServiceUnavailable, "no healthy shards for partitioned placement")
+		return
+	}
+	blocks, err := PartitionRows(csr, wantParts)
+	if err != nil {
+		r.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rows, cols := csr.Dims()
+	name := body.Name
+	if name == "" {
+		name = "upload"
+	}
+	tol := body.Tol
+	parts := make([]partRef, 0, len(blocks))
+	cleanup := func() {
+		for _, p := range parts {
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RequestTimeout)
+			_ = p.shard.Delete(ctx, p.remoteID)
+			cancel()
+		}
+	}
+	for i, b := range blocks {
+		text, merr := MarshalBlock(b)
+		if merr != nil {
+			cleanup()
+			r.fail(w, http.StatusInternalServerError, "serializing block: %v", merr)
+			return
+		}
+		breq := server.RegisterRequest{
+			Name:         fmt.Sprintf("%s#%d/%d[%d,%d)", name, i+1, len(blocks), b.Lo, b.Hi),
+			MatrixMarket: text,
+			Tol:          tol,
+		}
+		sc := healthy[i%len(healthy)]
+		info, rerr := callShard(r, sc, func() (server.MatrixInfo, error) {
+			return sc.Register(req.Context(), breq)
+		})
+		if rerr != nil {
+			cleanup()
+			r.failShard(w, rerr)
+			return
+		}
+		parts = append(parts, partRef{lo: b.Lo, hi: b.Hi, shard: sc, remoteID: info.ID})
+	}
+	rt := &route{
+		id:          id,
+		name:        body.Name,
+		rows:        rows,
+		cols:        cols,
+		nnz:         csr.NNZ(),
+		tol:         tol,
+		fingerprint: csr.Fingerprint(),
+		transition:  dangling != nil,
+		dangling:    dangling,
+		diag:        diagonal(csr),
+		partitioned: true,
+		parts:       parts,
+	}
+	r.insertRoute(rt)
+	r.metrics.PartitionedRegs.Add(1)
+	shardsUsed := make([]string, len(parts))
+	for i, p := range parts {
+		shardsUsed[i] = p.shard.Name()
+	}
+	r.log.Info("matrix partitioned", "id", id, "parts", len(parts), "shards", shardsUsed,
+		"nnz", rt.nnz, "fingerprint", rt.fingerprint)
+	r.writeJSON(w, http.StatusCreated, r.routeInfo(rt))
+}
+
+// insertRoute records the route, tagging structure duplicates (same
+// fingerprint as an earlier live handle) for the future dedupe layer.
+func (r *Router) insertRoute(rt *route) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, other := range r.routes {
+		if other.fingerprint != "" && other.fingerprint == rt.fingerprint {
+			if rt.duplicateOf == "" || other.id < rt.duplicateOf {
+				rt.duplicateOf = other.id
+			}
+		}
+	}
+	r.routes[rt.id] = rt
+}
+
+// routeInfo renders the route document (placement + usage, no shard calls).
+func (r *Router) routeInfo(rt *route) RouteInfo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	info := RouteInfo{
+		ID:          rt.id,
+		Name:        rt.name,
+		Rows:        rt.rows,
+		Cols:        rt.cols,
+		NNZ:         rt.nnz,
+		Tol:         rt.tol,
+		Transition:  rt.transition,
+		Fingerprint: rt.fingerprint,
+		DuplicateOf: rt.duplicateOf,
+		Partitioned: rt.partitioned,
+		SpMVCalls:   rt.spmvCalls,
+		SolveCalls:  rt.solveCalls,
+	}
+	if rt.partitioned {
+		for _, p := range rt.parts {
+			info.Parts = append(info.Parts, Placement{Shard: p.shard.Name(), RemoteID: p.remoteID, RowLo: p.lo, RowHi: p.hi})
+		}
+	} else {
+		info.Primary = &Placement{Shard: rt.primary.shard.Name(), RemoteID: rt.primary.remoteID, RowLo: 0, RowHi: rt.rows}
+		for _, rep := range rt.replicas {
+			info.Replicas = append(info.Replicas, Placement{Shard: rep.shard.Name(), RemoteID: rep.remoteID, RowLo: 0, RowHi: rt.rows})
+		}
+	}
+	return info
+}
+
+func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	rts := make([]*route, 0, len(r.routes))
+	for _, rt := range r.routes {
+		rts = append(rts, rt)
+	}
+	r.mu.Unlock()
+	sort.Slice(rts, func(i, j int) bool { return rts[i].id < rts[j].id })
+	resp := ListResponse{Matrices: make([]RouteInfo, 0, len(rts)), Shards: r.shardStatuses()}
+	for _, rt := range rts {
+		resp.Matrices = append(resp.Matrices, r.routeInfo(rt))
+	}
+	r.writeJSON(w, http.StatusOK, resp)
+}
+
+func (r *Router) handleGet(w http.ResponseWriter, req *http.Request) {
+	rt, ok := r.lookup(w, req)
+	if !ok {
+		return
+	}
+	info := r.routeInfo(rt)
+	// Pull the shard-side stats for every placement so the caller sees the
+	// full ledger: each copy's selector state and paid/hidden overhead.
+	rt.mu.Lock()
+	refs := make([]shardRef, 0, 4)
+	if rt.partitioned {
+		for _, p := range rt.parts {
+			refs = append(refs, shardRef{shard: p.shard, remoteID: p.remoteID})
+		}
+	} else {
+		refs = append(refs, rt.primary)
+		refs = append(refs, rt.replicas...)
+	}
+	rt.mu.Unlock()
+	for _, ref := range refs {
+		mi, err := callShard(r, ref.shard, func() (server.MatrixInfo, error) {
+			return ref.shard.Get(req.Context(), ref.remoteID)
+		})
+		if err != nil {
+			continue // placement stats are best-effort; health marking already done
+		}
+		info.Handles = append(info.Handles, mi)
+	}
+	r.writeJSON(w, http.StatusOK, info)
+}
+
+func (r *Router) handleDelete(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	r.mu.Lock()
+	rt, ok := r.routes[id]
+	if ok {
+		delete(r.routes, id)
+	}
+	r.mu.Unlock()
+	if !ok {
+		r.fail(w, http.StatusNotFound, "no matrix %q", id)
+		return
+	}
+	rt.mu.Lock()
+	refs := make([]shardRef, 0, 4)
+	if rt.partitioned {
+		for _, p := range rt.parts {
+			refs = append(refs, shardRef{shard: p.shard, remoteID: p.remoteID})
+		}
+	} else {
+		refs = append(refs, rt.primary)
+		refs = append(refs, rt.replicas...)
+	}
+	rt.mu.Unlock()
+	for _, ref := range refs {
+		_, _ = callShard(r, ref.shard, func() (struct{}, error) {
+			return struct{}{}, ref.shard.Delete(req.Context(), ref.remoteID)
+		})
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- spmv ----
+
+// spmvCopies returns the copies to try in order: healthy copies rotated by
+// the round-robin cursor (so replicas genuinely share fan-out load), then
+// unhealthy ones as a last resort.
+func (rt *route) spmvCopies() (attempts []shardRef, primary shardRef) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	all := make([]shardRef, 0, 1+len(rt.replicas))
+	all = append(all, rt.primary)
+	all = append(all, rt.replicas...)
+	start := rt.rr % len(all)
+	rt.rr++
+	rot := append(append(make([]shardRef, 0, len(all)), all[start:]...), all[:start]...)
+	healthy := make([]shardRef, 0, len(rot))
+	var rest []shardRef
+	for _, ref := range rot {
+		if ref.shard.Healthy() {
+			healthy = append(healthy, ref)
+		} else {
+			rest = append(rest, ref)
+		}
+	}
+	return append(healthy, rest...), rt.primary
+}
+
+// solveCopies prefers the primary (its selector accumulates the handle's
+// solve history), falling back to replicas only on failure.
+func (rt *route) solveCopies() (attempts []shardRef, primary shardRef) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	all := make([]shardRef, 0, 1+len(rt.replicas))
+	all = append(all, rt.primary)
+	all = append(all, rt.replicas...)
+	healthy := make([]shardRef, 0, len(all))
+	var rest []shardRef
+	for _, ref := range all {
+		if ref.shard.Healthy() {
+			healthy = append(healthy, ref)
+		} else {
+			rest = append(rest, ref)
+		}
+	}
+	return append(healthy, rest...), rt.primary
+}
+
+func (r *Router) handleSpMV(w http.ResponseWriter, req *http.Request) {
+	rt, ok := r.lookup(w, req)
+	if !ok {
+		return
+	}
+	var body server.SpMVRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	if len(body.X) == 0 {
+		r.fail(w, http.StatusBadRequest, "x must hold at least one vector")
+		return
+	}
+	for i, x := range body.X {
+		if len(x) != rt.cols {
+			r.fail(w, http.StatusBadRequest, "x[%d] has length %d, matrix has %d columns", i, len(x), rt.cols)
+			return
+		}
+	}
+	r.metrics.SpMVRequests.Add(1)
+	start := time.Now()
+	defer func() { r.metrics.SpMVSeconds.Observe(time.Since(start).Seconds()) }()
+
+	if rt.partitioned {
+		if body.RowLo != 0 || body.RowHi != 0 {
+			r.fail(w, http.StatusBadRequest, "row_lo/row_hi are not supported on partitioned handles")
+			return
+		}
+		ys, served, err := r.gather(req.Context(), rt, body.X)
+		if err != nil {
+			r.failShard(w, err)
+			return
+		}
+		rt.mu.Lock()
+		rt.spmvCalls += int64(len(body.X))
+		rt.mu.Unlock()
+		r.writeJSON(w, http.StatusOK, SpMVResponse{
+			SpMVResponse: server.SpMVResponse{Y: ys, Format: "distributed"},
+			ServedBy:     served,
+		})
+		return
+	}
+
+	attempts, primary := rt.spmvCopies()
+	var lastErr error
+	for i, ref := range attempts {
+		if i > 0 {
+			r.metrics.Failovers.Add(1)
+		}
+		resp, err := callShard(r, ref.shard, func() (server.SpMVResponse, error) {
+			return ref.shard.SpMV(req.Context(), ref.remoteID, body)
+		})
+		if err != nil {
+			lastErr = err
+			if !Retryable(err) {
+				break
+			}
+			continue
+		}
+		if ref.shard == primary.shard && ref.remoteID == primary.remoteID {
+			r.metrics.PrimaryHits.Add(1)
+		} else {
+			r.metrics.ReplicaHits.Add(1)
+		}
+		rt.mu.Lock()
+		rt.spmvCalls += int64(len(body.X))
+		rt.mu.Unlock()
+		r.maybeReplicate(rt)
+		r.writeJSON(w, http.StatusOK, SpMVResponse{SpMVResponse: resp, ServedBy: []string{ref.shard.Name()}})
+		return
+	}
+	r.failShard(w, lastErr)
+}
+
+// gather runs the distributed SpMV: the full x goes to every row block in
+// parallel, each shard returns its block of the product, and the router
+// scatters the blocks into full-length output vectors. Every row is summed
+// entirely on one shard, so the gathered vector is bit-identical to a
+// single-process CSR product no matter how the rows were cut.
+func (r *Router) gather(ctx context.Context, rt *route, xs [][]float64) ([][]float64, []string, error) {
+	rt.mu.Lock()
+	parts := append([]partRef(nil), rt.parts...)
+	rows := rt.rows
+	rt.mu.Unlock()
+
+	ys := make([][]float64, len(xs))
+	for i := range ys {
+		ys[i] = make([]float64, rows)
+	}
+	served := make([]string, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for pi := range parts {
+		wg.Add(1)
+		go func(pi int, p partRef) {
+			defer wg.Done()
+			served[pi] = p.shard.Name()
+			var resp server.SpMVResponse
+			var err error
+			// One in-place retry absorbs transient queue-full rejections;
+			// blocks have a single placement, so there is no replica to
+			// fail over to (whole-handle replicas cover that case).
+			for attempt := 0; attempt < 2; attempt++ {
+				resp, err = callShard(r, p.shard, func() (server.SpMVResponse, error) {
+					return p.shard.SpMV(ctx, p.remoteID, server.SpMVRequest{X: xs})
+				})
+				if err == nil || !Retryable(err) {
+					break
+				}
+			}
+			if err != nil {
+				errs[pi] = fmt.Errorf("block [%d,%d) on %s: %w", p.lo, p.hi, p.shard.Name(), err)
+				return
+			}
+			if len(resp.Y) != len(xs) {
+				errs[pi] = fmt.Errorf("block [%d,%d) returned %d vectors, want %d", p.lo, p.hi, len(resp.Y), len(xs))
+				return
+			}
+			for vi, y := range resp.Y {
+				if len(y) != p.hi-p.lo {
+					errs[pi] = fmt.Errorf("block [%d,%d) returned %d rows", p.lo, p.hi, len(y))
+					return
+				}
+				copy(ys[vi][p.lo:p.hi], y)
+			}
+		}(pi, parts[pi])
+	}
+	wg.Wait()
+	r.metrics.PartialFanouts.Add(1)
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return ys, served, nil
+}
+
+// ---- replication ----
+
+// maybeReplicate kicks off a background copy of a hot whole handle onto the
+// next shard in its placement sequence, toward the configured replication
+// factor. At most one attempt is in flight per route.
+func (r *Router) maybeReplicate(rt *route) {
+	if r.cfg.ReplicateAfter <= 0 {
+		return
+	}
+	rt.mu.Lock()
+	hot := !rt.partitioned && rt.spmvCalls >= r.cfg.ReplicateAfter &&
+		1+len(rt.replicas) < r.cfg.ReplicationFactor && !rt.replicating
+	if hot {
+		rt.replicating = true
+	}
+	rt.mu.Unlock()
+	if !hot {
+		return
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.replicate(rt)
+	}()
+}
+
+// replicate copies a route's handle onto one additional shard. Runs off the
+// request path: the client that made the handle hot never waits on it — in
+// ledger terms the copy's full T_convert+transfer is hidden overhead, paid
+// by no request.
+func (r *Router) replicate(rt *route) {
+	done := func(ok bool) {
+		rt.mu.Lock()
+		rt.replicating = false
+		rt.mu.Unlock()
+		if ok {
+			r.metrics.Replications.Add(1)
+		}
+	}
+	rt.mu.Lock()
+	hosting := map[string]bool{rt.primary.shard.Name(): true}
+	for _, rep := range rt.replicas {
+		hosting[rep.shard.Name()] = true
+	}
+	source := rt.primary
+	id := rt.id
+	rt.mu.Unlock()
+
+	var target *ShardClient
+	for _, sc := range r.successorClients(id, len(r.shardList())) {
+		if !hosting[sc.Name()] && sc.Healthy() {
+			target = sc
+			break
+		}
+	}
+	if target == nil {
+		done(false)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RequestTimeout)
+	defer cancel()
+	exp, err := callShard(r, source.shard, func() (server.ExportResponse, error) {
+		return source.shard.Export(ctx, source.remoteID)
+	})
+	if err != nil {
+		r.log.Warn("replication export failed", "id", id, "source", source.shard.Name(), "error", err)
+		done(false)
+		return
+	}
+	info, err := callShard(r, target, func() (server.MatrixInfo, error) {
+		return target.Register(ctx, server.RegisterRequest{
+			Name:         exp.Name,
+			MatrixMarket: exp.MatrixMarket,
+			Tol:          exp.Tol,
+			Dangling:     exp.Dangling,
+		})
+	})
+	if err != nil {
+		r.log.Warn("replication register failed", "id", id, "target", target.Name(), "error", err)
+		done(false)
+		return
+	}
+	rt.mu.Lock()
+	rt.replicas = append(rt.replicas, shardRef{shard: target, remoteID: info.ID})
+	copies := 1 + len(rt.replicas)
+	rt.mu.Unlock()
+	done(true)
+	r.log.Info("handle replicated", "id", id, "target", target.Name(), "remote_id", info.ID, "copies", copies)
+}
+
+// ---- solve ----
+
+func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
+	rt, ok := r.lookup(w, req)
+	if !ok {
+		return
+	}
+	var body server.SolveRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	r.metrics.SolveRequests.Add(1)
+	start := time.Now()
+	defer func() { r.metrics.SolveSeconds.Observe(time.Since(start).Seconds()) }()
+
+	if rt.partitioned {
+		r.distSolve(w, req, rt, body)
+		return
+	}
+	attempts, _ := rt.solveCopies()
+	var lastErr error
+	for i, ref := range attempts {
+		if i > 0 {
+			r.metrics.Failovers.Add(1)
+		}
+		resp, err := callShard(r, ref.shard, func() (server.SolveResponse, error) {
+			return ref.shard.Solve(req.Context(), ref.remoteID, body)
+		})
+		if err != nil {
+			lastErr = err
+			if !Retryable(err) {
+				break
+			}
+			continue
+		}
+		rt.mu.Lock()
+		rt.solveCalls++
+		rt.spmvCalls += int64(resp.SpMVCalls)
+		rt.mu.Unlock()
+		r.maybeReplicate(rt)
+		r.writeJSON(w, http.StatusOK, SolveResponse{SolveResponse: resp, ServedBy: []string{ref.shard.Name()}})
+		return
+	}
+	r.failShard(w, lastErr)
+}
+
+// distPanic carries a shard failure out of an Operator.SpMV call (whose
+// signature has no error) up to the solve handler.
+type distPanic struct{ err error }
+
+// distOp adapts the partitioned route into the apps.Operator contract: each
+// SpMV is one fan-out/gather round trip across the blocks.
+type distOp struct {
+	r   *Router
+	rt  *route
+	ctx context.Context
+}
+
+func (d distOp) Dims() (int, int) { return d.rt.rows, d.rt.cols }
+
+func (d distOp) SpMV(y, x []float64) {
+	ys, _, err := d.r.gather(d.ctx, d.rt, [][]float64{x})
+	if err != nil {
+		panic(distPanic{err})
+	}
+	copy(y, ys[0])
+}
+
+// distSolve runs a solver at the router against the partitioned operator:
+// scalar work (dot products, orthogonalization) happens router-side on
+// full-length vectors, every SpMV fans out to the block shards. The math is
+// the single-process algorithm verbatim — same iteration order, same
+// reductions — so the result matches a single ocsd bit-for-bit when the
+// blocks stay in CSR, and within the Higham kernel bound otherwise.
+func (r *Router) distSolve(w http.ResponseWriter, req *http.Request, rt *route, body server.SolveRequest) {
+	timeout := r.cfg.RequestTimeout
+	if body.TimeoutMillis > 0 {
+		timeout = time.Duration(body.TimeoutMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), timeout)
+	defer cancel()
+
+	opt := apps.DefaultSolveOptions()
+	opt.Ctx = ctx
+	if body.Tol > 0 {
+		opt.Tol = body.Tol
+	}
+	if body.MaxIters > 0 {
+		opt.MaxIters = body.MaxIters
+	}
+	if body.Restart > 0 {
+		opt.Restart = body.Restart
+	}
+	b := body.B
+	needB := body.App != "pagerank" && body.App != "power"
+	if needB {
+		if b == nil {
+			b = make([]float64, rt.rows)
+			for i := range b {
+				b[i] = 1
+			}
+		} else if len(b) != rt.rows {
+			r.fail(w, http.StatusBadRequest, "b has length %d, matrix has %d rows", len(b), rt.rows)
+			return
+		}
+	}
+	op := distOp{r: r, rt: rt, ctx: ctx}
+	hook := func(int, float64) {}
+
+	var (
+		res   apps.Result
+		eig   *float64
+		err   error
+		start = time.Now()
+	)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				dp, ok := p.(distPanic)
+				if !ok {
+					panic(p)
+				}
+				err = dp.err
+			}
+		}()
+		switch body.App {
+		case "cg":
+			res, err = apps.CG(op, b, opt, hook)
+		case "pcg":
+			var pre apps.Preconditioner
+			pre, err = apps.NewJacobiPreconditioner(rt.diag)
+			if err == nil {
+				res, err = apps.PCG(op, pre, b, opt, hook)
+			}
+		case "bicgstab":
+			res, err = apps.BiCGSTAB(op, b, opt, hook)
+		case "gmres":
+			res, err = apps.GMRES(op, b, opt, hook)
+		case "jacobi":
+			res, err = apps.Jacobi(op, rt.diag, b, 2.0/3.0, opt, hook)
+		case "power":
+			var pr apps.PowerResult
+			pr, err = apps.PowerMethod(op, opt, hook)
+			res = pr.Result
+			eig = &pr.Eigenvalue
+		case "pagerank":
+			if rt.dangling == nil {
+				err = fmt.Errorf("matrix %s was not registered with as_transition", rt.id)
+				break
+			}
+			propt := apps.DefaultPageRankOptions()
+			propt.Ctx = ctx
+			if body.Tol > 0 {
+				propt.Tol = body.Tol
+			}
+			if body.MaxIters > 0 {
+				propt.MaxIters = body.MaxIters
+			}
+			if body.Damping > 0 {
+				propt.Damping = body.Damping
+			}
+			res, err = apps.PageRank(op, rt.dangling, propt, hook)
+		default:
+			err = fmt.Errorf("unknown app %q (want cg, pcg, bicgstab, gmres, jacobi, power or pagerank)", body.App)
+		}
+	}()
+	if err != nil {
+		var se *StatusError
+		switch {
+		case errors.As(err, &se):
+			r.failShard(w, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			r.fail(w, http.StatusGatewayTimeout, "%v", err)
+		case strings.HasPrefix(err.Error(), "unknown app"), strings.HasPrefix(err.Error(), "matrix "):
+			r.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		default:
+			r.fail(w, http.StatusBadGateway, "%v", err)
+		}
+		return
+	}
+
+	rt.mu.Lock()
+	rt.solveCalls++
+	rt.spmvCalls += int64(res.SpMVs)
+	parts := append([]partRef(nil), rt.parts...)
+	rt.mu.Unlock()
+
+	// Aggregate the shard-side ledgers: the cross-shard request's selector
+	// overheads are the sum over blocks (each block ran its own pipeline),
+	// keeping the T_affected split (paid on some shard's request path,
+	// hidden behind its in-flight work) visible one hop up.
+	agg, served := r.aggregateSelector(req.Context(), parts)
+	resp := server.SolveResponse{
+		App:            body.App,
+		Iterations:     res.Iterations,
+		SpMVCalls:      res.SpMVs,
+		Converged:      res.Converged,
+		Residual:       res.Residual,
+		Format:         "distributed",
+		DurationMillis: float64(time.Since(start).Microseconds()) / 1000,
+		Selector:       agg,
+		Eigenvalue:     eig,
+	}
+	if body.IncludeX {
+		resp.X = res.X
+	}
+	r.writeJSON(w, http.StatusOK, SolveResponse{SolveResponse: resp, ServedBy: served})
+}
+
+// aggregateSelector sums the per-block selector stats into one document and
+// returns the serving shard names.
+func (r *Router) aggregateSelector(ctx context.Context, parts []partRef) (server.SelectorStats, []string) {
+	var agg server.SelectorStats
+	formats := make([]string, 0, len(parts))
+	served := make([]string, 0, len(parts))
+	seen := map[string]bool{}
+	for _, p := range parts {
+		served = append(served, p.shard.Name())
+		mi, err := callShard(r, p.shard, func() (server.MatrixInfo, error) {
+			return p.shard.Get(ctx, p.remoteID)
+		})
+		if err != nil {
+			continue
+		}
+		st := mi.Selector
+		agg.Iterations += st.Iterations
+		agg.Stage1Ran = agg.Stage1Ran || st.Stage1Ran
+		agg.Stage2Ran = agg.Stage2Ran || st.Stage2Ran
+		agg.Converted = agg.Converted || st.Converted
+		agg.FeatureSeconds += st.FeatureSeconds
+		agg.PredictSeconds += st.PredictSeconds
+		agg.ConvertSeconds += st.ConvertSeconds
+		agg.Async = agg.Async || st.Async
+		agg.Pending = agg.Pending || st.Pending
+		agg.PaidSeconds += st.PaidSeconds
+		agg.HiddenSeconds += st.HiddenSeconds
+		if !seen[st.Format] {
+			seen[st.Format] = true
+			formats = append(formats, st.Format)
+		}
+	}
+	agg.Format = strings.Join(formats, ",")
+	return agg, served
+}
+
+// ---- drain / rebalance ----
+
+func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
+	var body DrainRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	name := strings.TrimSuffix(body.Shard, "/")
+	r.mu.Lock()
+	sc, ok := r.shards[name]
+	if ok {
+		r.ring.Remove(name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		r.fail(w, http.StatusNotFound, "no shard %q", name)
+		return
+	}
+	sc.SetDraining(true)
+	resp := r.drainShard(req.Context(), sc)
+	r.log.Info("shard drained", "shard", name, "promoted", resp.Promoted, "moved", resp.Moved, "lost", len(resp.Lost))
+	r.writeJSON(w, http.StatusOK, resp)
+}
+
+// drainShard re-homes every placement off sc: whole handles promote an
+// existing replica when one is healthy, otherwise export+register to the
+// ring's new owner; row blocks always export+register. The drained shard
+// stays a member (admin-visible, probed) but owns no ring points, so
+// nothing new lands on it.
+func (r *Router) drainShard(ctx context.Context, sc *ShardClient) DrainResponse {
+	resp := DrainResponse{Shard: sc.Name()}
+	r.mu.Lock()
+	rts := make([]*route, 0, len(r.routes))
+	for _, rt := range r.routes {
+		rts = append(rts, rt)
+	}
+	r.mu.Unlock()
+	sort.Slice(rts, func(i, j int) bool { return rts[i].id < rts[j].id })
+
+	var abandoned []shardRef // handles to delete from the drained shard
+	for _, rt := range rts {
+		rt.mu.Lock()
+		if rt.partitioned {
+			moves := make([]int, 0, 1)
+			for pi, p := range rt.parts {
+				if p.shard == sc {
+					moves = append(moves, pi)
+				}
+			}
+			rt.mu.Unlock()
+			for _, pi := range moves {
+				if r.movePart(ctx, rt, pi, sc) {
+					resp.Moved++
+					r.metrics.Rebalances.Add(1)
+				} else {
+					resp.Lost = append(resp.Lost, fmt.Sprintf("%s part %d", rt.id, pi))
+				}
+			}
+			continue
+		}
+		// Whole handle: drop replicas on the shard, re-home the primary.
+		kept := rt.replicas[:0]
+		var healthyReplica *shardRef
+		for i := range rt.replicas {
+			rep := rt.replicas[i]
+			if rep.shard == sc {
+				abandoned = append(abandoned, rep)
+				continue
+			}
+			kept = append(kept, rep)
+			if healthyReplica == nil && rep.shard.Healthy() {
+				healthyReplica = &kept[len(kept)-1]
+			}
+		}
+		rt.replicas = kept
+		primaryHere := rt.primary.shard == sc
+		var oldPrimary shardRef
+		if primaryHere {
+			oldPrimary = rt.primary
+			if healthyReplica != nil {
+				// Promote: the replica becomes authoritative, no data moves.
+				rt.primary = *healthyReplica
+				rt.replicas = removeRef(rt.replicas, *healthyReplica)
+				resp.Promoted++
+			}
+		}
+		promoted := primaryHere && healthyReplica != nil
+		rt.mu.Unlock()
+		if primaryHere && !promoted {
+			if r.moveWhole(ctx, rt, oldPrimary) {
+				resp.Moved++
+				r.metrics.Rebalances.Add(1)
+				abandoned = append(abandoned, oldPrimary)
+			} else {
+				resp.Lost = append(resp.Lost, rt.id)
+			}
+		} else if promoted {
+			abandoned = append(abandoned, oldPrimary)
+		}
+	}
+	// Best-effort cleanup on the drained shard; failures are fine (the
+	// shard may already be gone).
+	for _, ref := range abandoned {
+		_ = ref.shard.Delete(ctx, ref.remoteID)
+	}
+	return resp
+}
+
+// removeRef filters one ref out of a slice.
+func removeRef(refs []shardRef, drop shardRef) []shardRef {
+	out := refs[:0]
+	for _, ref := range refs {
+		if ref != drop {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// moveWhole exports a handle from its (possibly still reachable) old
+// primary and registers it on the ring's new owner for the route.
+func (r *Router) moveWhole(ctx context.Context, rt *route, from shardRef) bool {
+	exp, err := callShard(r, from.shard, func() (server.ExportResponse, error) {
+		return from.shard.Export(ctx, from.remoteID)
+	})
+	if err != nil {
+		r.log.Warn("drain export failed", "id", rt.id, "from", from.shard.Name(), "error", err)
+		return false
+	}
+	for _, target := range r.successorClients(rt.id, len(r.shardList())) {
+		if target == from.shard || !target.Healthy() {
+			continue
+		}
+		info, rerr := callShard(r, target, func() (server.MatrixInfo, error) {
+			return target.Register(ctx, server.RegisterRequest{
+				Name: exp.Name, MatrixMarket: exp.MatrixMarket, Tol: exp.Tol, Dangling: exp.Dangling,
+			})
+		})
+		if rerr != nil {
+			continue
+		}
+		rt.mu.Lock()
+		rt.primary = shardRef{shard: target, remoteID: info.ID}
+		rt.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// movePart re-homes one row block of a partitioned route.
+func (r *Router) movePart(ctx context.Context, rt *route, pi int, from *ShardClient) bool {
+	rt.mu.Lock()
+	p := rt.parts[pi]
+	rt.mu.Unlock()
+	exp, err := callShard(r, from, func() (server.ExportResponse, error) {
+		return from.Export(ctx, p.remoteID)
+	})
+	if err != nil {
+		r.log.Warn("drain part export failed", "id", rt.id, "part", pi, "error", err)
+		return false
+	}
+	for _, target := range r.successorClients(fmt.Sprintf("%s#%d", rt.id, pi), len(r.shardList())) {
+		if target == from || !target.Healthy() {
+			continue
+		}
+		info, rerr := callShard(r, target, func() (server.MatrixInfo, error) {
+			return target.Register(ctx, server.RegisterRequest{
+				Name: exp.Name, MatrixMarket: exp.MatrixMarket, Tol: exp.Tol,
+			})
+		})
+		if rerr != nil {
+			continue
+		}
+		rt.mu.Lock()
+		rt.parts[pi] = partRef{lo: p.lo, hi: p.hi, shard: target, remoteID: info.ID}
+		rt.mu.Unlock()
+		return true
+	}
+	return false
+}

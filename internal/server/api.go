@@ -25,6 +25,12 @@ type RegisterRequest struct {
 	// column-stochastic PageRank transition operator at registration and
 	// stores the dangling-node flags; required for app "pagerank".
 	AsTransition bool `json:"as_transition,omitempty"`
+	// Dangling installs precomputed dangling-node flags alongside an
+	// already-built transition operator (len must equal the row count).
+	// The cluster router uses this to replicate or re-home a transition
+	// handle exported from another shard without re-deriving the operator;
+	// mutually exclusive with AsTransition, requires MatrixMarket.
+	Dangling []bool `json:"dangling,omitempty"`
 }
 
 // GenerateSpec names a synthetic matrix family (see internal/matgen):
@@ -93,6 +99,11 @@ type MatrixInfo struct {
 	SpMVCalls  int64         `json:"spmv_calls"`
 	SolveCalls int64         `json:"solve_calls"`
 	Selector   SelectorStats `json:"selector"`
+	// Fingerprint is the deterministic hash of the matrix structure
+	// (dims/indptr/indices, not values) — stable across processes and worker
+	// counts, so a router can detect duplicate uploads and future layers can
+	// dedupe or cache conversions keyed on it.
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// TraceID addresses this handle's decision trace in the journal
 	// (GET /v1/trace/{matrix-id} resolves it); 0 until the pipeline runs.
 	TraceID uint64 `json:"trace_id,omitempty"`
@@ -112,6 +123,12 @@ type ListResponse struct {
 // x-vectors, each of length cols.
 type SpMVRequest struct {
 	X [][]float64 `json:"x"`
+	// RowLo/RowHi restrict the returned product to rows [RowLo, RowHi) — a
+	// partial product, the shard-side half of distributed SpMV (the router
+	// gathers per-shard row blocks into the full vector). Both zero means
+	// all rows.
+	RowLo int `json:"row_lo,omitempty"`
+	RowHi int `json:"row_hi,omitempty"`
 }
 
 // SpMVResponse returns y = A*x for each input vector, in order.
@@ -156,6 +173,22 @@ type SolveResponse struct {
 	Selector       SelectorStats `json:"selector"`
 	Eigenvalue     *float64      `json:"eigenvalue,omitempty"`
 	X              []float64     `json:"x,omitempty"`
+}
+
+// ExportResponse is the body of GET /v1/matrices/{id}/export: everything a
+// peer shard needs to re-register this handle verbatim — the matrix in
+// Matrix Market text (full %.17g precision, so values round-trip bit-exact)
+// plus the registration attributes that are not derivable from the text.
+// The cluster router uses it to replicate hot handles and to re-home
+// handles off a draining shard.
+type ExportResponse struct {
+	ID           string  `json:"id"`
+	Name         string  `json:"name,omitempty"`
+	Tol          float64 `json:"tol"`
+	Transition   bool    `json:"transition"`
+	Dangling     []bool  `json:"dangling,omitempty"`
+	Fingerprint  string  `json:"fingerprint"`
+	MatrixMarket string  `json:"matrix_market"`
 }
 
 // BuildInfo is the body of GET /buildinfo.

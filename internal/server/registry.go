@@ -24,6 +24,9 @@ type Handle struct {
 	NNZ     int
 	Tol     float64
 	Created time.Time
+	// Fingerprint hashes the matrix structure (sparse.CSR.Fingerprint),
+	// computed once at registration.
+	Fingerprint string
 
 	// SA is the selector state; safe for concurrent use.
 	SA *core.SafeAdaptive
@@ -42,6 +45,11 @@ type Handle struct {
 	solveCalls int64
 	stage2Seen bool // whether the selector pipeline outcome was counted
 }
+
+// CSR returns the master CSR copy. The matrix is immutable after
+// registration; callers must not mutate the arrays. The export endpoint
+// serializes it for peer shards.
+func (h *Handle) CSR() *sparse.CSR { return h.csr }
 
 // Diag returns the matrix diagonal, extracting and caching it on first use
 // (PCG's Jacobi preconditioner and the Jacobi solver need it).

@@ -166,6 +166,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/matrices", s.track(s.handleRegister))
 	s.mux.Handle("GET /v1/matrices", s.track(s.handleList))
 	s.mux.Handle("GET /v1/matrices/{id}", s.track(s.handleGet))
+	s.mux.Handle("GET /v1/matrices/{id}/export", s.track(s.handleExport))
 	s.mux.Handle("DELETE /v1/matrices/{id}", s.track(s.handleDelete))
 	s.mux.Handle("POST /v1/matrices/{id}/spmv", s.track(s.handleSpMV))
 	s.mux.Handle("POST /v1/matrices/{id}/solve", s.track(s.handleSolve))
@@ -288,18 +289,19 @@ func (s *Server) info(h *Handle) MatrixInfo {
 	spmv, solve := h.Usage()
 	traceID, _ := h.SA.TraceID()
 	return MatrixInfo{
-		TraceID:    traceID,
-		ID:         h.ID,
-		Name:       h.Name,
-		Rows:       h.Rows,
-		Cols:       h.Cols,
-		NNZ:        h.NNZ,
-		Tol:        h.Tol,
-		Transition: h.Dangling != nil,
-		CreatedAt:  h.Created,
-		SpMVCalls:  spmv,
-		SolveCalls: solve,
-		Selector:   selectorStats(h.SA.Stats()),
+		TraceID:     traceID,
+		ID:          h.ID,
+		Name:        h.Name,
+		Rows:        h.Rows,
+		Cols:        h.Cols,
+		NNZ:         h.NNZ,
+		Tol:         h.Tol,
+		Transition:  h.Dangling != nil,
+		CreatedAt:   h.Created,
+		SpMVCalls:   spmv,
+		SolveCalls:  solve,
+		Selector:    selectorStats(h.SA.Stats()),
+		Fingerprint: h.Fingerprint,
 	}
 }
 
@@ -452,12 +454,28 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var dangling []bool
-	if req.AsTransition {
+	switch {
+	case req.AsTransition && req.Dangling != nil:
+		s.fail(w, http.StatusBadRequest, "as_transition and dangling are mutually exclusive")
+		return
+	case req.AsTransition:
 		csr, dangling, err = apps.BuildTransition(csr)
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, "building transition matrix: %v", err)
 			return
 		}
+	case req.Dangling != nil:
+		// The matrix text is an already-built transition operator (a peer
+		// shard's export); install the flags verbatim instead of re-deriving.
+		if req.MatrixMarket == "" {
+			s.fail(w, http.StatusBadRequest, "dangling requires matrix_market")
+			return
+		}
+		if r, _ := csr.Dims(); len(req.Dangling) != r {
+			s.fail(w, http.StatusBadRequest, "dangling has %d flags, matrix has %d rows", len(req.Dangling), r)
+			return
+		}
+		dangling = req.Dangling
 	}
 
 	tol := req.Tol
@@ -481,15 +499,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	ad := core.NewAdaptive(csr, tol, s.cfg.Preds, selCfg, !s.cfg.SerialKernels)
 	rows, cols := csr.Dims()
 	h := &Handle{
-		Name:     req.Name,
-		Rows:     rows,
-		Cols:     cols,
-		NNZ:      csr.NNZ(),
-		Tol:      tol,
-		Created:  time.Now(),
-		SA:       core.NewSafeAdaptive(ad),
-		csr:      csr,
-		Dangling: dangling,
+		Name:        req.Name,
+		Rows:        rows,
+		Cols:        cols,
+		NNZ:         csr.NNZ(),
+		Tol:         tol,
+		Created:     time.Now(),
+		Fingerprint: csr.Fingerprint(),
+		SA:          core.NewSafeAdaptive(ad),
+		csr:         csr,
+		Dangling:    dangling,
 	}
 	evicted, err := s.reg.Add(h)
 	if err != nil {
@@ -522,6 +541,32 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.info(h))
 }
 
+// handleExport serializes a handle for a peer shard: the CSR master copy as
+// Matrix Market text (full precision, so values survive the round trip
+// bit-exact) plus the registration attributes a re-register needs. The
+// cluster router calls this to replicate hot handles onto other shards and
+// to re-home handles when a shard drains.
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var sb strings.Builder
+	if err := mmio.Write(&sb, h.CSR()); err != nil {
+		s.fail(w, http.StatusInternalServerError, "serializing matrix: %v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ExportResponse{
+		ID:           h.ID,
+		Name:         h.Name,
+		Tol:          h.Tol,
+		Transition:   h.Dangling != nil,
+		Dangling:     h.Dangling,
+		Fingerprint:  h.Fingerprint,
+		MatrixMarket: sb.String(),
+	})
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.reg.Delete(id) {
@@ -549,6 +594,17 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusBadRequest, "x[%d] has length %d, matrix has %d columns", i, len(x), h.Cols)
 			return
 		}
+	}
+	// A partial product restricts the response to rows [lo, hi): the
+	// distributed-SpMV contract where a router gathers row blocks from
+	// several shards. The kernel still computes all rows (formats do not
+	// expose row-range kernels); only the response is sliced, so a
+	// whole-handle replica can serve any block without re-registration.
+	lo, hi := req.RowLo, req.RowHi
+	partial := lo != 0 || hi != 0
+	if partial && (lo < 0 || hi <= lo || hi > h.Rows) {
+		s.fail(w, http.StatusBadRequest, "row range [%d,%d) invalid for %d rows", lo, hi, h.Rows)
+		return
 	}
 	// A request boundary is a swap point: no SpMV of ours is in flight yet,
 	// so a background conversion that finished since the last request is
@@ -588,6 +644,11 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 	s.metrics.SpMVVectors.Add(int64(len(req.X)))
 	s.metrics.CountSpMV(h.SA.Format(), int64(len(req.X)))
 	h.countUse(s.metrics, int64(len(req.X)), 0)
+	if partial {
+		for i := range ys {
+			ys[i] = ys[i][lo:hi]
+		}
+	}
 	s.writeJSON(w, http.StatusOK, SpMVResponse{Y: ys, Format: h.SA.Format().String()})
 }
 

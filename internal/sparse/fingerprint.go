@@ -1,0 +1,46 @@
+package sparse
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a deterministic hash of the matrix *structure* —
+// dimensions, row pointers and column indices, but not the numeric values.
+// Two uploads of the same sparsity pattern therefore share a fingerprint
+// even when their entries differ, which is exactly the key a conversion
+// cache or dedupe layer wants: T_convert and the stage-2 feature vector
+// depend only on structure.
+//
+// The hash is computed over a fixed little-endian serialization, so it is
+// stable across processes, architectures, and worker counts (the CSR arrays
+// are canonical: Ptr monotone, columns sorted ascending per row, regardless
+// of how many workers built them). The returned string is
+// "sha256:" + the first 32 hex digits (128 bits), plenty against collision
+// at any realistic registry size while keeping IDs short enough to log.
+func (m *CSR) Fingerprint() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeInt(m.rows)
+	writeInt(m.cols)
+	writeInt(len(m.Data)) // nnz, delimits the sections
+	// Ptr deltas fit the stream compactly and canonically; writing the raw
+	// cumulative values would hash identically-structured matrices equally
+	// too, but deltas keep the serialization independent of any future
+	// base-offset representation change.
+	for i := 0; i < m.rows; i++ {
+		writeInt(m.Ptr[i+1] - m.Ptr[i])
+	}
+	var buf4 [4]byte
+	for _, c := range m.Col {
+		binary.LittleEndian.PutUint32(buf4[:], uint32(c))
+		h.Write(buf4[:])
+	}
+	sum := h.Sum(nil)
+	return "sha256:" + hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,98 @@
+package sparse
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// fpTestMatrix builds a small ragged matrix (empty row, dense-ish row,
+// scattered tail) by hand so the expected structure is unambiguous.
+func fpTestMatrix(t *testing.T, scale float64) *CSR {
+	t.Helper()
+	ptr := []int{0, 3, 3, 7, 8, 10}
+	col := []int32{0, 2, 5, 1, 2, 3, 4, 0, 2, 5}
+	data := make([]float64, len(col))
+	for i := range data {
+		data[i] = scale * float64(i+1)
+	}
+	m, err := NewCSR(5, 6, ptr, col, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFingerprintStructureOnly(t *testing.T) {
+	a := fpTestMatrix(t, 1.0)
+	b := fpTestMatrix(t, -3.5) // same pattern, different values
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprint depends on values: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if !strings.HasPrefix(a.Fingerprint(), "sha256:") || len(a.Fingerprint()) != len("sha256:")+32 {
+		t.Errorf("fingerprint format unexpected: %q", a.Fingerprint())
+	}
+
+	// Moving one entry to another column must change the hash.
+	c := fpTestMatrix(t, 1.0)
+	c.Col[0] = 1
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprint ignored a column index change")
+	}
+
+	// Same flattened columns but different row boundaries must differ (the
+	// ptr deltas are hashed, not just the column stream).
+	d, err := NewCSR(5, 6, []int{0, 2, 3, 7, 8, 10}, []int32{0, 2, 5, 1, 2, 3, 4, 0, 2, 5}, make([]float64, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("fingerprint ignored row-boundary change")
+	}
+
+	// Dimensions participate: an extra all-zero trailing column is a
+	// different structure.
+	e, err := NewCSR(5, 7, []int{0, 3, 3, 7, 8, 10}, []int32{0, 2, 5, 1, 2, 3, 4, 0, 2, 5}, make([]float64, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == e.Fingerprint() {
+		t.Error("fingerprint ignored column-count change")
+	}
+}
+
+// TestFingerprintStableAcrossWorkerCounts pins GOMAXPROCS to 1, 2 and the
+// test maximum, rebuilding the matrix (including a parallel conversion round
+// trip through another format) at each width, and requires the identical
+// fingerprint every time: the hash is a pure function of the canonical CSR
+// arrays, never of the partitioning that produced them.
+func TestFingerprintStableAcrossWorkerCounts(t *testing.T) {
+	maxP := runtime.GOMAXPROCS(0)
+	widths := []int{1, 2, maxP}
+	var want string
+	for _, p := range widths {
+		old := runtime.GOMAXPROCS(p)
+		a := fpTestMatrix(t, 2.0)
+		m, err := ConvertFromCSR(a, FmtSELL, DefaultLimits)
+		if err != nil {
+			runtime.GOMAXPROCS(old)
+			t.Fatalf("convert at GOMAXPROCS=%d: %v", p, err)
+		}
+		back, err := ToCSR(m)
+		if err != nil {
+			runtime.GOMAXPROCS(old)
+			t.Fatalf("round trip at GOMAXPROCS=%d: %v", p, err)
+		}
+		got := back.Fingerprint()
+		direct := a.Fingerprint()
+		runtime.GOMAXPROCS(old)
+		if got != direct {
+			t.Fatalf("GOMAXPROCS=%d: round-tripped fingerprint %s != direct %s", p, got, direct)
+		}
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("GOMAXPROCS=%d: fingerprint %s differs from width-1 result %s", p, got, want)
+		}
+	}
+}
