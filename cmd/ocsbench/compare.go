@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // compareKey identifies a measurement across runs. Workers and nnz are
@@ -110,6 +111,34 @@ func gomaxprocsNote(baseline, fresh *Report) string {
 		baseline.GOMAXPROCS, fresh.GOMAXPROCS, baseline.GOMAXPROCS)
 }
 
+// cpuFeaturesNote flags baselines recorded on a host with a different SIMD
+// feature set (or kernel generation) than the fresh run: the assembly kernels
+// dispatch by CPU feature, so an AVX2 baseline diffed on a generic host
+// measures the hardware delta, not a code regression. Returns "" when the
+// sets match or either report predates the fields.
+func cpuFeaturesNote(baseline, fresh *Report) string {
+	if baseline.KernelVariant != "" && fresh.KernelVariant != "" &&
+		baseline.KernelVariant != fresh.KernelVariant {
+		return fmt.Sprintf("warning: baseline dispatched the %q kernels but this run dispatched %q; spmv times are not directly comparable (refresh the baseline on this host)",
+			baseline.KernelVariant, fresh.KernelVariant)
+	}
+	if len(baseline.CPUFeatures) == 0 || len(fresh.CPUFeatures) == 0 {
+		return ""
+	}
+	if featureSet(baseline.CPUFeatures) == featureSet(fresh.CPUFeatures) {
+		return ""
+	}
+	return fmt.Sprintf("warning: baseline was recorded with CPU features [%s] but this host has [%s]; kernel dispatch may differ (refresh the baseline on this host)",
+		featureSet(baseline.CPUFeatures), featureSet(fresh.CPUFeatures))
+}
+
+// featureSet canonicalizes a feature list for comparison and display.
+func featureSet(fs []string) string {
+	sorted := append([]string(nil), fs...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, " ")
+}
+
 // runCompare loads the baseline, diffs the fresh report against it, prints a
 // verdict, and reports whether the run regressed.
 func runCompare(baselinePath string, fresh *Report, threshold float64) (failed bool, err error) {
@@ -118,6 +147,9 @@ func runCompare(baselinePath string, fresh *Report, threshold float64) (failed b
 		return false, fmt.Errorf("loading baseline: %w", err)
 	}
 	if note := gomaxprocsNote(baseline, fresh); note != "" {
+		fmt.Println(note)
+	}
+	if note := cpuFeaturesNote(baseline, fresh); note != "" {
 		fmt.Println(note)
 	}
 	regs, matched := compareReports(baseline, fresh, threshold)

@@ -81,6 +81,55 @@ func TestGomaxprocsNote(t *testing.T) {
 	}
 }
 
+func TestCPUFeaturesNote(t *testing.T) {
+	mk := func(variant string, feats ...string) *Report {
+		return &Report{KernelVariant: variant, CPUFeatures: feats}
+	}
+	if note := cpuFeaturesNote(mk("avx2", "avx2", "fma"), mk("avx2", "fma", "avx2")); note != "" {
+		t.Errorf("matching features (order-independent) produced a note: %q", note)
+	}
+	// Reports written before the fields existed unmarshal to empty: no note.
+	if note := cpuFeaturesNote(mk(""), mk("avx2", "avx2", "fma")); note != "" {
+		t.Errorf("legacy baseline produced a note: %q", note)
+	}
+	note := cpuFeaturesNote(mk("avx2", "avx2", "fma"), mk("generic"))
+	if note == "" {
+		t.Fatal("kernel-variant mismatch produced no note")
+	}
+	for _, want := range []string{`"avx2"`, `"generic"`} {
+		if !strings.Contains(note, want) {
+			t.Errorf("note %q missing %q", note, want)
+		}
+	}
+	note = cpuFeaturesNote(mk("avx2", "avx2", "fma"), mk("avx2", "avx2"))
+	if note == "" {
+		t.Fatal("feature-set mismatch produced no note")
+	}
+	for _, want := range []string{"avx2 fma", "refresh the baseline"} {
+		if !strings.Contains(note, want) {
+			t.Errorf("note %q missing %q", note, want)
+		}
+	}
+}
+
+func TestSpmvWorkerCounts(t *testing.T) {
+	for _, tc := range []struct {
+		max  int
+		want []int
+	}{{1, []int{1}}, {2, []int{1, 2}}, {4, []int{1, 2, 4}}, {12, []int{1, 6, 12}}} {
+		got := spmvWorkerCounts(tc.max)
+		if len(got) != len(tc.want) {
+			t.Errorf("spmvWorkerCounts(%d) = %v, want %v", tc.max, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("spmvWorkerCounts(%d) = %v, want %v", tc.max, got, tc.want)
+			}
+		}
+	}
+}
+
 func TestRunCompareAgainstFile(t *testing.T) {
 	dir := t.TempDir()
 	base := rep(Record{Kind: "spmv", Matrix: "banded", Format: "CSR", NsPerOp: 100})

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cpufeat"
 	"repro/internal/gbt"
 	"repro/internal/matgen"
 	"repro/internal/obs"
@@ -38,7 +39,9 @@ type Record struct {
 	Matrix string `json:"matrix,omitempty"`
 	// Format is the sparse format measured (spmv/convert).
 	Format string `json:"format,omitempty"`
-	// Variant distinguishes dispatch strategies: "serial", "spawn", "team".
+	// Variant distinguishes dispatch strategies ("serial", "spawn", "team")
+	// and, for spmv records of formats with assembly kernels, the kernel
+	// generation ("vector", "scalar").
 	Variant string `json:"variant,omitempty"`
 	// N is the loop length for dispatch records.
 	N int `json:"n,omitempty"`
@@ -59,12 +62,19 @@ type Record struct {
 
 // Report is the top-level JSON document.
 type Report struct {
-	GOOS       string   `json:"goos"`
-	GOARCH     string   `json:"goarch"`
-	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Generated  string   `json:"generated"`
-	Records    []Record `json:"records"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUFeatures is the detected SIMD feature set of the recording host
+	// (see internal/cpufeat); ns/op from an AVX2 machine and a generic one
+	// are different benchmarks, so -compare warns on a mismatch.
+	CPUFeatures []string `json:"cpu_features,omitempty"`
+	// KernelVariant is the sparse-kernel generation the run dispatched to
+	// ("avx2" or "generic").
+	KernelVariant string   `json:"kernel_variant,omitempty"`
+	Generated     string   `json:"generated"`
+	Records       []Record `json:"records"`
 }
 
 // benchLimits mirror the kernel benchmarks in bench_test.go: DIA/ELL keep
@@ -139,11 +149,13 @@ func main() {
 	runtime.GOMAXPROCS(*procs)
 	maxProcs := runtime.GOMAXPROCS(0)
 	report := Report{
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: maxProcs,
-		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    maxProcs,
+		CPUFeatures:   cpufeat.Features(),
+		KernelVariant: sparse.KernelVariant(),
+		Generated:     time.Now().UTC().Format(time.RFC3339),
 	}
 
 	if *target != "" {
@@ -243,8 +255,17 @@ func dispatchRecords(minTime time.Duration, workers int) []Record {
 	return recs
 }
 
+// vectorizedFormats are the formats whose SpMV has an assembly kernel; their
+// spmv records come in "vector"/"scalar" variant pairs so the baseline
+// captures the kernel-generation speedup, not just the format ranking.
+var vectorizedFormats = map[sparse.Format]bool{
+	sparse.FmtCSR: true, sparse.FmtELL: true, sparse.FmtSELL: true, sparse.FmtJDS: true,
+}
+
 // spmvRecords times the parallel SpMV kernel of every format the matrix
-// converts to.
+// converts to, sweeping GOMAXPROCS over {1, max/2, max}. Formats with an
+// assembly kernel are measured twice per width, once per kernel generation
+// (the scalar run forces the pure-Go fallback).
 func spmvRecords(minTime time.Duration, name string, a *sparse.CSR, workers int) []Record {
 	var recs []Record
 	for _, f := range sparse.AllFormats {
@@ -258,13 +279,42 @@ func spmvRecords(minTime time.Duration, name string, a *sparse.CSR, workers int)
 			x[i] = 1
 		}
 		y := make([]float64, rows)
-		ns, iters := measure(minTime, func() { m.SpMVParallel(y, x) })
-		recs = append(recs, Record{
-			Kind: "spmv", Matrix: name, Format: f.String(),
-			NNZ: m.NNZ(), Workers: workers, NsPerOp: ns, Iters: iters,
-		})
+		variants := []string{""}
+		if vectorizedFormats[f] && sparse.HasVectorKernels() {
+			variants = []string{"vector", "scalar"}
+		}
+		for _, w := range spmvWorkerCounts(workers) {
+			old := runtime.GOMAXPROCS(w)
+			for _, variant := range variants {
+				if variant == "scalar" {
+					sparse.ForceGenericKernels(true)
+				}
+				ns, iters := measure(minTime, func() { m.SpMVParallel(y, x) })
+				if variant == "scalar" {
+					sparse.ForceGenericKernels(false)
+				}
+				recs = append(recs, Record{
+					Kind: "spmv", Matrix: name, Format: f.String(), Variant: variant,
+					NNZ: m.NNZ(), Workers: w, NsPerOp: ns, Iters: iters,
+				})
+			}
+			runtime.GOMAXPROCS(old)
+		}
 	}
 	return recs
+}
+
+// spmvWorkerCounts returns the GOMAXPROCS sweep for the SpMV measurements:
+// serial, half width and full width, deduplicated on narrow machines.
+func spmvWorkerCounts(max int) []int {
+	counts := []int{1}
+	if max/2 > 1 {
+		counts = append(counts, max/2)
+	}
+	if max > counts[len(counts)-1] {
+		counts = append(counts, max)
+	}
+	return counts
 }
 
 // convertRecords times CSR->format conversion twice per format: pinned to
@@ -458,6 +508,16 @@ func printSummary(r *Report) {
 		if spawn > 0 && team > 0 {
 			fmt.Printf("dispatch n=%-8d spawn %.0f ns/op, team %.0f ns/op (%.2fx)\n",
 				n, spawn, team, spawn/team)
+		}
+	}
+	for _, rec := range r.Records {
+		if rec.Kind != "spmv" || rec.Variant != "vector" || rec.Workers != r.GOMAXPROCS {
+			continue
+		}
+		scalar := byKey[key{"spmv", rec.Matrix, rec.Format, "scalar"}][rec.Workers]
+		if scalar > 0 {
+			fmt.Printf("spmv %s/%-5s scalar %.1f us, vector %.1f us (%.2fx, %d workers)\n",
+				rec.Matrix, rec.Format, scalar/1e3, rec.NsPerOp/1e3, scalar/rec.NsPerOp, rec.Workers)
 		}
 	}
 	for _, rec := range r.Records {

@@ -252,6 +252,8 @@ func payload(m sparse.Matrix) any {
 			a.RowStartPtr, a.RowStartRows, a.TailRow, a.TailCol, a.TailVal}
 	case *sparse.SELL:
 		return []any{dims, a.Perm, a.SliceWidth, a.SlicePtr, a.Cols, a.Data}
+	case *sparse.JDS:
+		return []any{dims, a.Perm, a.DiagPtr, a.Col, a.Data}
 	default:
 		return m
 	}

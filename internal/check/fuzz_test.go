@@ -136,6 +136,24 @@ func FuzzSELLSlices(f *testing.F) {
 	})
 }
 
+// FuzzJDSPerm hammers the JDS permutation and jagged-diagonal layout:
+// conversion, re-validation through NewJDS, round trip, and Higham-bounded
+// SpMV/SpMM on arbitrary decoded shapes. The counting sort and the
+// DiagPtr/permPtr duality have off-by-one territory exactly where fuzzing
+// shines (empty rows, all-equal lengths, single long row).
+func FuzzJDSPerm(f *testing.F) {
+	addDecodeSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a := DecodeCSR(data)
+		if a == nil {
+			t.Skip("input too short to decode")
+		}
+		if _, err := CheckFormat(a, sparse.FmtJDS, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // addDecodeSeeds registers the shared DecodeCSR seed inputs: empty, 1×1,
 // a dense block, a diagonal run, and a tall single column — enough for the
 // mutator to reach every format's edge cases quickly.

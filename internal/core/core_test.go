@@ -351,3 +351,54 @@ func TestDefaultConfigMatchesPaper(t *testing.T) {
 		t.Errorf("K=%d TH=%d, paper uses 15/15", cfg.K, cfg.TH)
 	}
 }
+
+func TestDecideCostsJDS(t *testing.T) {
+	// JDS is universal (no fill limit), so every Decide must price it —
+	// the "participates in selection" half of wiring a new format in.
+	preds := predictors(t)
+	m := genCSR(t, matgen.FamPowerLaw, 3000, 7)
+	fs := features.Extract(m)
+	blocks := features.CountBlocks(m, sparse.DefaultLimits.BSRBlockSize)
+	d := preds.Decide(fs, blocks, 10000, sparse.DefaultLimits, 0.1)
+	if _, ok := d.PredictedCost[sparse.FmtJDS]; !ok {
+		t.Fatal("JDS missing from Decide's cost table")
+	}
+}
+
+func TestJDSChoosableByOracleOnSkewedMidLoop(t *testing.T) {
+	// With the model oracle's true costs, a skewed (power-law) matrix and a
+	// mid-length loop should prefer JDS: it runs near CSR5 speed but costs
+	// about a tenth of CSR5's conversion, so there is a remaining-iteration
+	// band where the cheaper conversion wins the T_affected comparison.
+	o := timing.NewModelOracle()
+	o.Noise = 0
+	m := genCSR(t, matgen.FamPowerLaw, 4000, 8)
+	csrTime, ok := o.SpMVTime(m, sparse.FmtCSR)
+	if !ok || csrTime <= 0 {
+		t.Fatal("no CSR baseline time")
+	}
+	conv := map[sparse.Format]float64{}
+	spmv := map[sparse.Format]float64{}
+	for _, f := range sparse.AllFormats {
+		st, ok1 := o.SpMVTime(m, f)
+		ct, ok2 := o.ConvertTime(m, f)
+		if ok1 && ok2 {
+			spmv[f] = st / csrTime
+			conv[f] = ct / csrTime
+		}
+	}
+	if _, ok := spmv[sparse.FmtJDS]; !ok {
+		t.Fatal("oracle did not cost JDS")
+	}
+	chosen := false
+	for _, remaining := range []float64{20, 50, 100, 200, 500, 1000, 2000} {
+		if core.OracleDecide(conv, spmv, remaining) == sparse.FmtJDS {
+			chosen = true
+			break
+		}
+	}
+	if !chosen {
+		t.Errorf("JDS never optimal across the remaining-iteration sweep: spmv=%v conv=%v",
+			spmv[sparse.FmtJDS], conv[sparse.FmtJDS])
+	}
+}

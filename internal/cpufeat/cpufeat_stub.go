@@ -1,0 +1,6 @@
+//go:build !amd64 || noasm
+
+package cpufeat
+
+// Non-amd64 platforms and noasm builds report no vector features; the
+// kernel dispatcher then selects the pure-Go fallbacks unconditionally.

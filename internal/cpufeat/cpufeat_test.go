@@ -1,0 +1,26 @@
+package cpufeat
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestFeaturesConsistent(t *testing.T) {
+	fs := Features()
+	seen := map[string]bool{}
+	for _, f := range fs {
+		if seen[f] {
+			t.Fatalf("duplicate feature %q in %v", f, fs)
+		}
+		seen[f] = true
+	}
+	if VectorKernels() != (X86.HasAVX2 && X86.HasFMA) {
+		t.Fatal("VectorKernels disagrees with X86 flags")
+	}
+	if VectorKernels() && (!seen["avx2"] || !seen["fma"]) {
+		t.Fatalf("VectorKernels true but Features() = %v", fs)
+	}
+	if runtime.GOARCH != "amd64" && len(fs) != 0 {
+		t.Fatalf("non-amd64 build reports features %v", fs)
+	}
+}

@@ -1,0 +1,42 @@
+package parallel
+
+import "sync/atomic"
+
+// Affinity makes a recurring parallel region sticky: it remembers which
+// worker executed each range last time so the next dispatch hands the same
+// ranges back to the same workers. For an iterative solver running SpMV
+// over a fixed row partition hundreds of times, stickiness means a worker
+// re-reads matrix rows and vector segments it already holds in its private
+// caches — and, when workers are pinned, pages it first-touched on its own
+// NUMA node — instead of whichever chunk the dynamic counter happened to
+// deal it.
+//
+// Stickiness is a preference, not an assignment: a dispatch first lets each
+// participant reclaim its owned ranges, then falls back to dynamic stealing
+// for everything unclaimed (owners absent this round, width changes, load
+// imbalance), recording the thief as the new owner. Correctness never
+// depends on the owner table — it only biases who runs what.
+//
+// An Affinity is sized for one fixed range count at construction and is
+// safe for concurrent dispatches (owners are atomics; racing updates just
+// mean the last writer wins the next round's preference).
+type Affinity struct {
+	owner []atomic.Int32
+}
+
+// NewAffinity creates an affinity table for a region dispatched over n
+// ranges. All ranges start unowned.
+func NewAffinity(n int) *Affinity {
+	a := &Affinity{owner: make([]atomic.Int32, n)}
+	for i := range a.owner {
+		a.owner[i].Store(-1)
+	}
+	return a
+}
+
+// Len returns the number of ranges the table covers.
+func (a *Affinity) Len() int { return len(a.owner) }
+
+// Owner returns the worker id that last ran range i, -1 if never run.
+// Intended for tests and introspection.
+func (a *Affinity) Owner(i int) int { return int(a.owner[i].Load()) }

@@ -66,6 +66,45 @@ func ForRanges(ranges [][2]int, body func(lo, hi int)) {
 	Default().ForRanges(ranges, body)
 }
 
+// ForRangesAffine is ForRanges with sticky worker→range affinity through
+// the default team (see Affinity). Callers keep one Affinity per recurring
+// region — e.g. a matrix's cached row partition — and pass it on every
+// dispatch.
+func ForRangesAffine(aff *Affinity, ranges [][2]int, body func(lo, hi int)) {
+	switch {
+	case len(ranges) == 0:
+		return
+	case len(ranges) == 1:
+		body(ranges[0][0], ranges[0][1])
+		return
+	case Workers() <= 1:
+		for _, r := range ranges {
+			body(r[0], r[1])
+		}
+		return
+	}
+	Default().ForRangesAffine(aff, ranges, body)
+}
+
+// FirstTouchFloat64 allocates an n-element vector and faults its pages in
+// parallel under the same partition (and affinity) its consumers will use.
+// On NUMA hosts with pinned workers, first-touch placement puts each page
+// on the memory node of the worker that will stream it in every subsequent
+// SpMV; elsewhere it merely pre-commits the pages off the hot path.
+func FirstTouchFloat64(n int, ranges [][2]int, aff *Affinity) []float64 {
+	v := make([]float64, n)
+	if len(ranges) == 0 {
+		return v
+	}
+	ForRangesAffine(aff, ranges, func(lo, hi int) {
+		// One store per 4 KiB page commits it; the values are already zero.
+		for i := lo; i < hi; i += 512 {
+			v[i] = 0
+		}
+	})
+	return v
+}
+
 // ForRangesIndexed is ForRanges for bodies that need the range's index,
 // typically to address per-range scratch state merged after the call. Range
 // w always runs as index w no matter which worker claims it.

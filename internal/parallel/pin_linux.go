@@ -1,0 +1,34 @@
+//go:build linux
+
+package parallel
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// pinThread locks the calling goroutine to its OS thread and binds that
+// thread to the given CPUs with sched_setaffinity(2). On failure (seccomp,
+// cpuset restrictions) the thread is unlocked again and the worker runs
+// unpinned — pinning is an optimization, never a correctness requirement.
+func pinThread(cpus []int) error {
+	if len(cpus) == 0 {
+		return nil
+	}
+	// 1024-bit mask matches the kernel's default CONFIG_NR_CPUS ceiling.
+	var mask [16]uint64
+	for _, c := range cpus {
+		if c >= 0 && c < 1024 {
+			mask[c/64] |= 1 << (uint(c) % 64)
+		}
+	}
+	runtime.LockOSThread()
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		runtime.UnlockOSThread()
+		return errno
+	}
+	return nil
+}

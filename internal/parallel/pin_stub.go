@@ -1,0 +1,9 @@
+//go:build !linux
+
+package parallel
+
+import "errors"
+
+func pinThread(cpus []int) error {
+	return errors.New("parallel: thread pinning unsupported on this platform")
+}

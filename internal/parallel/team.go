@@ -28,14 +28,30 @@ const maxTeamWorkers = 1024
 // share between concurrently running solves — dispatches never block waiting
 // for workers, so there is no deadlock and no goroutine explosion.
 //
+// Teams are topology-aware: workers are spread round-robin across the
+// host's cache domains (Domains — sockets, or CCXs on chiplet CPUs) and
+// parked on per-domain free-lists. A dispatch wakes workers domain by
+// domain starting from a rotating cursor, so a region too narrow to need
+// the whole machine lands compactly on one L3 domain instead of scattering
+// across sockets. With OCS_PIN=1 each worker's OS thread is additionally
+// bound to its domain's CPUs. On single-domain hosts (and this degrades
+// gracefully when sysfs is unreadable) all of this collapses to the flat
+// single-free-list behavior.
+//
 // All dispatch methods are safe for concurrent use. Close is not: it must
 // only be called once no dispatches are in flight.
 type Team struct {
-	// idle is the free-list of parked workers, identified by their wake
-	// channels. A worker's channel is in idle exactly when the worker is
-	// parked (or about to park) on it.
-	idle chan chan *teamJob
+	// idle holds one free-list of parked workers per cache domain,
+	// identified by their wake channels. A worker's channel is in its
+	// domain's list exactly when the worker is parked (or about to park)
+	// on it.
+	idle []chan chan *teamJob
+	// cpus are the per-domain CPU lists workers pin to when pin is set.
+	cpus [][]int
+	pin  bool
 
+	rr         atomic.Int32 // rotating first-domain cursor for compact wakes
+	nextID     atomic.Int32 // worker id allocator (ids start at 1; 0 = dispatcher)
 	size       atomic.Int32 // spawned workers (excludes the dispatcher)
 	dispatches atomic.Int64 // parallel regions dispatched
 	woken      atomic.Int64 // workers woken across all dispatches
@@ -59,6 +75,8 @@ type TeamStats struct {
 
 // teamJob is one parallel region: a body plus a set of chunks claimed via an
 // atomic counter by every participant (woken workers and the dispatcher).
+// Affine jobs (aff != nil) additionally carry a per-chunk taken table so
+// sticky reclaiming and dynamic stealing can race safely.
 type teamJob struct {
 	// Exactly one of body and bodyIdx is set.
 	body    func(lo, hi int)
@@ -67,6 +85,10 @@ type teamJob struct {
 	// Chunks are either explicit ranges or arithmetic [i*chunk, i*chunk+chunk)∩[0,n).
 	ranges   [][2]int
 	n, chunk int
+
+	// aff/taken implement sticky dispatch; see Affinity.
+	aff   *Affinity
+	taken []atomic.Bool
 
 	total     int32
 	next      atomic.Int32
@@ -86,38 +108,94 @@ func (j *teamJob) bounds(i int) (int, int) {
 	return lo, hi
 }
 
-// run claims and executes chunks until none remain. The participant that
-// completes the last chunk closes done; the close is the happens-before edge
-// that makes every body's writes visible to the dispatcher.
-func (j *teamJob) run() {
+// exec runs chunk i. The participant that completes the last chunk closes
+// done; the close is the happens-before edge that makes every body's writes
+// visible to the dispatcher.
+func (j *teamJob) exec(i int) {
+	lo, hi := j.bounds(i)
+	if j.body != nil {
+		j.body(lo, hi)
+	} else {
+		j.bodyIdx(i, lo, hi)
+	}
+	if j.completed.Add(1) == j.total {
+		close(j.done)
+	}
+}
+
+// runAs claims and executes chunks as participant self until none remain.
+func (j *teamJob) runAs(self int32) {
+	if j.aff != nil {
+		j.runAffine(self)
+		return
+	}
 	for {
 		i := j.next.Add(1) - 1
 		if i >= j.total {
 			return
 		}
-		lo, hi := j.bounds(int(i))
-		if j.body != nil {
-			j.body(lo, hi)
-		} else {
-			j.bodyIdx(int(i), lo, hi)
+		j.exec(int(i))
+	}
+}
+
+// runAffine is the sticky claim protocol. Pass 1: reclaim the chunks this
+// participant owned on the previous dispatch of the same region (CAS on
+// taken arbitrates against thieves). Pass 2: drain the shared counter like
+// a normal dispatch, skipping chunks already taken and recording this
+// participant as the new owner of whatever it steals.
+//
+// Every chunk executes exactly once: the counter visits every index, and
+// each index's taken CAS has exactly one winner — either its sticky owner
+// in pass 1 or its counter visitor in pass 2.
+func (j *teamJob) runAffine(self int32) {
+	n := int(j.total)
+	for i := 0; i < n; i++ {
+		if j.aff.owner[i].Load() == self && j.taken[i].CompareAndSwap(false, true) {
+			j.exec(i)
 		}
-		if j.completed.Add(1) == j.total {
-			close(j.done)
+	}
+	for {
+		i := int(j.next.Add(1) - 1)
+		if i >= n {
+			return
 		}
+		if !j.taken[i].CompareAndSwap(false, true) {
+			continue
+		}
+		j.aff.owner[i].Store(self)
+		j.exec(i)
 	}
 }
 
 // NewTeam creates a team of parallel width p: p-1 parked workers plus the
-// dispatching goroutine. Width is clamped to [1, maxTeamWorkers+1].
+// dispatching goroutine, spread across the host's detected cache domains.
+// Width is clamped to [1, maxTeamWorkers+1].
 func NewTeam(p int) *Team {
-	t := &Team{idle: make(chan chan *teamJob, maxTeamWorkers)}
+	return newTeam(p, domainCPULists(), PinningEnabled())
+}
+
+// newTeam is NewTeam with an explicit topology, so tests can fabricate
+// multi-domain teams on single-domain hosts.
+func newTeam(p int, domCPUs [][]int, pin bool) *Team {
+	if len(domCPUs) == 0 {
+		domCPUs = [][]int{nil}
+	}
+	t := &Team{
+		idle: make([]chan chan *teamJob, len(domCPUs)),
+		cpus: domCPUs,
+		pin:  pin,
+	}
+	for d := range t.idle {
+		t.idle[d] = make(chan chan *teamJob, maxTeamWorkers)
+	}
 	t.grow(p - 1)
 	return t
 }
 
-// grow spawns workers until the team holds target parked workers. It must
-// not be called concurrently with itself (Default serializes growth under
-// defaultTeamMu; NewTeam calls it before the team is shared).
+// grow spawns workers until the team holds target parked workers, dealing
+// them round-robin across domains. It must not be called concurrently with
+// itself (Default serializes growth under defaultTeamMu; NewTeam calls it
+// before the team is shared).
 func (t *Team) grow(target int) {
 	if target > maxTeamWorkers {
 		target = maxTeamWorkers
@@ -126,19 +204,25 @@ func (t *Team) grow(target int) {
 		// Cap 1 so a dispatcher that popped this worker from idle can hand
 		// it the job without blocking on the rendezvous.
 		wake := make(chan *teamJob, 1)
-		go t.worker(wake)
+		id := t.nextID.Add(1)
+		dom := int(id-1) % len(t.idle)
+		go t.worker(wake, id, dom)
 		t.size.Add(1)
-		t.idle <- wake
+		t.idle[dom] <- wake
 	}
 }
 
 // worker parks on its wake channel, runs the jobs it is handed, and
-// re-enters the free-list between jobs. It exits when Close closes the wake
-// channel.
-func (t *Team) worker(wake chan *teamJob) {
+// re-enters its domain's free-list between jobs. It exits when Close closes
+// the wake channel.
+func (t *Team) worker(wake chan *teamJob, id int32, dom int) {
+	if t.pin {
+		// Best-effort: an unpinnable worker (seccomp, cpuset) still works.
+		_ = pinThread(t.cpus[dom])
+	}
 	for job := range wake {
-		job.run()
-		t.idle <- wake
+		job.runAs(id)
+		t.idle[dom] <- wake
 	}
 }
 
@@ -172,12 +256,15 @@ func (t *Team) Go(fn func()) {
 		n:    1, chunk: 1, total: 1,
 		done: make(chan struct{}),
 	}
-	select {
-	case w := <-t.idle:
-		w <- job
-	default:
-		go job.run()
+	for _, lst := range t.idle {
+		select {
+		case w := <-lst:
+			w <- job
+			return
+		default:
+		}
 	}
+	go job.runAs(0)
 }
 
 // Close terminates the team's workers. It must not be called concurrently
@@ -187,34 +274,85 @@ func (t *Team) Close() {
 	if t.closed.Swap(true) {
 		return
 	}
-	// Every worker eventually returns to the free-list, so collecting
-	// size channels from idle reaches them all, parked or mid-job.
-	for n := t.size.Load(); n > 0; n-- {
-		close(<-t.idle)
+	// Every worker eventually returns to its domain's free-list, so sweeping
+	// the lists until size channels are collected reaches them all, parked
+	// or mid-job.
+	for n := t.size.Load(); n > 0; {
+		collected := false
+		for _, lst := range t.idle {
+			select {
+			case w := <-lst:
+				close(w)
+				n--
+				collected = true
+			default:
+			}
+		}
+		if !collected {
+			// A worker is mid-job; yield until it re-enqueues.
+			runtime.Gosched()
+		}
 	}
 }
 
-// dispatch wakes up to width-1 idle workers (fewer when the free-list runs
+// dispatch wakes up to width-1 idle workers (fewer when the free-lists run
 // dry — chunks not claimed by a worker fall to the caller), participates in
-// the job, and waits for the last chunk to finish.
+// the job, and waits for the last chunk to finish. Workers are woken domain
+// by domain starting from a rotating cursor, so a dispatch narrower than
+// the machine lands compactly on as few cache domains as possible rather
+// than taking one worker from each.
 func (t *Team) dispatch(job *teamJob, width int) {
 	t.dispatches.Add(1)
 	woken := int64(0)
-wake:
-	for i := 1; i < width; i++ {
-		select {
-		case w := <-t.idle:
-			w <- job
-			woken++
-		default:
-			break wake
+	need := width - 1
+	ndom := len(t.idle)
+	start := 0
+	if ndom > 1 {
+		start = int(uint32(t.rr.Add(1)-1) % uint32(ndom))
+	}
+	for d := 0; d < ndom && woken < int64(need); d++ {
+		lst := t.idle[(start+d)%ndom]
+	drain:
+		for woken < int64(need) {
+			select {
+			case w := <-lst:
+				w <- job
+				woken++
+			default:
+				break drain
+			}
 		}
 	}
 	if woken > 0 {
 		t.woken.Add(woken)
 	}
-	job.run()
+	job.runAs(0)
 	<-job.done
+}
+
+// ForRangesAffine is ForRanges with sticky worker→range affinity: aff
+// remembers who ran each range last dispatch and the claim protocol prefers
+// repeating that assignment (see Affinity). aff must have been created with
+// NewAffinity(len(ranges)); a size mismatch (or nil aff) falls back to the
+// plain dynamic dispatch.
+func (t *Team) ForRangesAffine(aff *Affinity, ranges [][2]int, body func(lo, hi int)) {
+	if aff == nil || aff.Len() != len(ranges) {
+		t.ForRanges(ranges, body)
+		return
+	}
+	switch len(ranges) {
+	case 0:
+		return
+	case 1:
+		body(ranges[0][0], ranges[0][1])
+		return
+	}
+	job := &teamJob{
+		body: body, ranges: ranges, total: int32(len(ranges)),
+		aff: aff, taken: make([]atomic.Bool, len(ranges)),
+		done: make(chan struct{}),
+	}
+	t.dispatch(job, len(ranges))
 }
 
 // parFor splits [0, n) into parts arithmetic chunks and runs body over them

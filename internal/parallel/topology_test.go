@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// writeFakeCPU fabricates one cpuN sysfs directory with the given package
+// and L3 ids (l3 < 0 omits the cache file, mimicking VMs that hide it).
+func writeFakeCPU(t *testing.T, root string, cpu, pkg, l3 int) {
+	t.Helper()
+	base := filepath.Join(root, fmt.Sprintf("cpu%d", cpu))
+	if err := os.MkdirAll(filepath.Join(base, "topology"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(base, "topology", "physical_package_id"),
+		[]byte(fmt.Sprintf("%d\n", pkg)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if l3 >= 0 {
+		if err := os.MkdirAll(filepath.Join(base, "cache", "index3"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(base, "cache", "index3", "id"),
+			[]byte(fmt.Sprintf("%d\n", l3)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadDomainsGroupsByPackageAndL3(t *testing.T) {
+	n := runtime.NumCPU()
+	if n < 2 {
+		t.Skip("needs NumCPU >= 2 to exercise grouping (readDomains scans 0..NumCPU-1)")
+	}
+	root := t.TempDir()
+	// Alternate CPUs between two L3 domains on one package.
+	for cpu := 0; cpu < n; cpu++ {
+		writeFakeCPU(t, root, cpu, 0, cpu%2)
+	}
+	doms := readDomains(root)
+	if len(doms) != 2 {
+		t.Fatalf("got %d domains, want 2: %+v", len(doms), doms)
+	}
+	for i, d := range doms {
+		if d.Package != 0 || d.L3 != i {
+			t.Errorf("domain %d = %+v, want package 0 L3 %d", i, d, i)
+		}
+		for _, c := range d.CPUs {
+			if c%2 != i {
+				t.Errorf("cpu %d landed in L3 domain %d", c, i)
+			}
+		}
+	}
+}
+
+func TestReadDomainsFallsBackToSingleDomain(t *testing.T) {
+	// Empty root: every read fails, all CPUs get (pkg 0, L3 -1).
+	doms := readDomains(t.TempDir())
+	if len(doms) != 1 {
+		t.Fatalf("got %d domains, want 1 fallback domain: %+v", len(doms), doms)
+	}
+	if got := len(doms[0].CPUs); got != runtime.NumCPU() {
+		t.Fatalf("fallback domain holds %d CPUs, want %d", got, runtime.NumCPU())
+	}
+}
+
+func TestDomainsHostDetection(t *testing.T) {
+	doms := Domains()
+	if len(doms) == 0 {
+		t.Fatal("Domains returned no domains")
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for _, d := range doms {
+		for _, c := range d.CPUs {
+			if seen[c] {
+				t.Fatalf("cpu %d appears in two domains", c)
+			}
+			seen[c] = true
+			total++
+		}
+	}
+	if total != runtime.NumCPU() {
+		t.Fatalf("domains cover %d CPUs, want %d", total, runtime.NumCPU())
+	}
+}
+
+func TestMultiDomainTeamDispatch(t *testing.T) {
+	// Fabricate 3 domains on a single-domain host; the team must still
+	// execute every chunk exactly once with workers spread across the
+	// domain free-lists.
+	team := newTeam(7, [][]int{nil, nil, nil}, false)
+	defer team.Close()
+	const n = 10000
+	counts := make([]int32, n)
+	for iter := 0; iter < 50; iter++ {
+		team.ForThreshold(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				counts[i]++
+			}
+		})
+	}
+	for i, c := range counts {
+		if c != 50 {
+			t.Fatalf("index %d executed %d times, want 50", i, c)
+		}
+	}
+}

@@ -635,6 +635,8 @@ func ConvertFromCSR(a *CSR, to Format, lim Limits) (Matrix, error) {
 		return NewSELLFromCSR(a)
 	case FmtCSC:
 		return CSRToCSC(a)
+	case FmtJDS:
+		return NewJDSFromCSR(a)
 	default:
 		return nil, fmt.Errorf("sparse: cannot convert to %v", to)
 	}
@@ -662,6 +664,8 @@ func ToCSR(m Matrix) (*CSR, error) {
 		return a.ToCSR()
 	case *CSC:
 		return a.ToCSR()
+	case *JDS:
+		return a.ToCSR()
 	default:
 		return nil, fmt.Errorf("sparse: cannot convert %v to CSR", m.Format())
 	}
@@ -686,7 +690,9 @@ func CanConvert(a *CSR, to Format, lim Limits) bool {
 	nnz := a.NNZ()
 	rows, _ := a.Dims()
 	switch to {
-	case FmtCSR, FmtCOO, FmtCSC, FmtCSR5, FmtHYB, FmtSELL:
+	case FmtCSR, FmtCOO, FmtCSC, FmtCSR5, FmtHYB, FmtSELL, FmtJDS:
+		// JDS is always representable: jagged diagonals store exactly nnz
+		// entries, so there is no padding blowup to guard against.
 		return true
 	case FmtDIA:
 		if nnz == 0 {

@@ -18,8 +18,12 @@ type CSR struct {
 
 	// rowRanges caches the nnz-balanced row partition used by the parallel
 	// kernel; it is computed once at construction since the matrix is
-	// immutable afterwards.
+	// immutable afterwards. aff makes the partition sticky across SpMV
+	// calls: iterative solvers re-run the same partition hundreds of times,
+	// and handing each worker the same row ranges every iteration keeps its
+	// rows and vector segments cache-resident.
 	rowRanges [][2]int
+	aff       *parallel.Affinity
 }
 
 // NewCSR builds a CSR matrix from raw arrays, validating the structure:
@@ -59,6 +63,7 @@ func NewCSR(rows, cols int, ptr []int, col []int32, data []float64) (*CSR, error
 	}
 	m := &CSR{rows: rows, cols: cols, Ptr: ptr, Col: col, Data: data}
 	m.rowRanges = parallel.PartitionByWeight(rows, parallel.Workers(), ptr)
+	m.aff = parallel.NewAffinity(len(m.rowRanges))
 	return m, nil
 }
 
@@ -81,12 +86,20 @@ func (m *CSR) RowNNZ(i int) int { return m.Ptr[i+1] - m.Ptr[i] }
 
 // spmvRows computes y = A*x over rows [lo, hi). Both the serial and the
 // parallel kernel funnel through this one body, so their summation order —
-// and therefore their rounding — is identical at any worker count. The
-// inner loop is unrolled by 4 into independent partial sums: Go's compiler
-// does not auto-vectorize, so breaking the single-accumulator dependency
-// chain is what buys instruction-level parallelism on the gather that
-// dominates this kernel.
+// and therefore their rounding — is identical at any worker count.
 func (m *CSR) spmvRows(y, x []float64, lo, hi int) {
+	if vectorOn.Load() {
+		m.spmvRowsVector(y, x, lo, hi)
+		return
+	}
+	m.spmvRowsGeneric(y, x, lo, hi)
+}
+
+// spmvRowsGeneric is the pure-Go kernel. The inner loop is unrolled by 4
+// into independent partial sums: Go's compiler does not auto-vectorize, so
+// breaking the single-accumulator dependency chain is what buys
+// instruction-level parallelism on the gather that dominates this kernel.
+func (m *CSR) spmvRowsGeneric(y, x []float64, lo, hi int) {
 	col, data := m.Col, m.Data
 	for i := lo; i < hi; i++ {
 		k, end := m.Ptr[i], m.Ptr[i+1]
@@ -98,6 +111,24 @@ func (m *CSR) spmvRows(y, x []float64, lo, hi int) {
 			s3 += data[k+3] * x[col[k+3]]
 		}
 		sum := (s0 + s1) + (s2 + s3)
+		for ; k < end; k++ {
+			sum += data[k] * x[col[k]]
+		}
+		y[i] = sum
+	}
+}
+
+// spmvRowsVector dispatches rows to the AVX2 gather-dot kernel; rows too
+// short to amortize the call stay on the scalar loop.
+func (m *CSR) spmvRowsVector(y, x []float64, lo, hi int) {
+	col, data := m.Col, m.Data
+	for i := lo; i < hi; i++ {
+		k, end := m.Ptr[i], m.Ptr[i+1]
+		if end-k >= vecMinRow {
+			y[i] = csrRowDot(col[k:end], data[k:end], x)
+			continue
+		}
+		var sum float64
 		for ; k < end; k++ {
 			sum += data[k] * x[col[k]]
 		}
@@ -120,7 +151,7 @@ func (m *CSR) SpMVParallel(y, x []float64) {
 		m.SpMV(y, x)
 		return
 	}
-	parallel.ForRanges(m.rowRanges, func(lo, hi int) {
+	parallel.ForRangesAffine(m.aff, m.rowRanges, func(lo, hi int) {
 		m.spmvRows(y, x, lo, hi)
 	})
 }

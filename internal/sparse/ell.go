@@ -83,12 +83,17 @@ func (m *ELL) FillRatio() float64 {
 	return float64(m.rows*m.Width) / float64(m.nnz)
 }
 
-// SpMV implements Matrix: fixed-width row loop. The early break on padding
-// is valid because padding is always trailing.
-func (m *ELL) SpMV(y, x []float64) {
-	checkSpMVDims(m.rows, m.cols, y, x)
+// spmvRows computes rows [lo, hi); both entry points funnel through it.
+// The generic loop's early break on padding is valid because padding is
+// always trailing; the assembly kernel instead masks padded lanes out of
+// its gathers, which only pays off once the width covers a 4-lane chunk.
+func (m *ELL) spmvRows(y, x []float64, lo, hi int) {
 	w := m.Width
-	for i := 0; i < m.rows; i++ {
+	if w >= 4 && hi > lo && vectorOn.Load() {
+		ellRowsAsm(&m.Cols[lo*w], &m.Data[lo*w], &x[0], &y[lo], w, hi-lo)
+		return
+	}
+	for i := lo; i < hi; i++ {
 		var sum float64
 		base := i * w
 		for j := 0; j < w; j++ {
@@ -102,6 +107,12 @@ func (m *ELL) SpMV(y, x []float64) {
 	}
 }
 
+// SpMV implements Matrix: fixed-width row loop.
+func (m *ELL) SpMV(y, x []float64) {
+	checkSpMVDims(m.rows, m.cols, y, x)
+	m.spmvRows(y, x, 0, m.rows)
+}
+
 // SpMVParallel implements Matrix, splitting rows evenly: ELL rows all cost
 // the same by construction, so no weighted partition is needed.
 func (m *ELL) SpMVParallel(y, x []float64) {
@@ -110,19 +121,7 @@ func (m *ELL) SpMVParallel(y, x []float64) {
 		m.SpMV(y, x)
 		return
 	}
-	w := m.Width
 	parallel.ForThreshold(m.rows, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var sum float64
-			base := i * w
-			for j := 0; j < w; j++ {
-				c := m.Cols[base+j]
-				if c == ELLPad {
-					break
-				}
-				sum += m.Data[base+j] * x[c]
-			}
-			y[i] = sum
-		}
+		m.spmvRows(y, x, lo, hi)
 	})
 }

@@ -1,7 +1,9 @@
 // Package sparse implements the seven sparse-matrix storage formats the
-// paper selects among — COO, CSR, DIA, ELL, HYB, BSR and CSR5 — together
-// with their SpMV kernels (serial and goroutine-parallel) and the format
-// conversions whose runtime cost is the subject of the paper.
+// paper selects among — COO, CSR, DIA, ELL, HYB, BSR and CSR5 — plus the
+// SELL-C-sigma, CSC and JDS extensions, together with their SpMV kernels
+// (serial, goroutine-parallel, and AVX2-vectorized where the host supports
+// it; see kernels.go) and the format conversions whose runtime cost is the
+// subject of the paper.
 //
 // CSR is the hub format: every other format converts to and from CSR, and
 // CSR is the default format applications start from, matching the paper's
@@ -26,12 +28,13 @@ const (
 	FmtCSR5
 	FmtSELL
 	FmtCSC
+	FmtJDS
 	numFormats
 )
 
 // AllFormats lists every supported format, CSR first since it is the
 // default. The slice is shared; callers must not mutate it.
-var AllFormats = []Format{FmtCSR, FmtCOO, FmtCSC, FmtDIA, FmtELL, FmtHYB, FmtBSR, FmtCSR5, FmtSELL}
+var AllFormats = []Format{FmtCSR, FmtCOO, FmtCSC, FmtDIA, FmtELL, FmtHYB, FmtBSR, FmtCSR5, FmtSELL, FmtJDS}
 
 // PaperFormats is the subset the paper's evaluation covers (AllFormats
 // minus the SELL-C-sigma extension).
@@ -50,6 +53,7 @@ var formatNames = [...]string{
 	FmtCSR5: "CSR5",
 	FmtSELL: "SELL",
 	FmtCSC:  "CSC",
+	FmtJDS:  "JDS",
 }
 
 // String returns the conventional upper-case name of the format.

@@ -1,0 +1,216 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2/FMA SpMV kernels. Shared conventions:
+//
+//   - Column indices are int32, sign-extended to qword lanes with VPMOVSXDQ
+//     so VGATHERQPD can scale them by 8.
+//   - Padded layouts (ELL, SELL) mark absent entries with column -1. The
+//     gather mask is built as (col > -1) via VPCMPGTQ against all-ones, so
+//     padded lanes are never dereferenced; their data is 0.0, making the
+//     FMA contribution exactly zero.
+//   - VGATHERQPD consumes (clobbers) its mask register and leaves unmasked
+//     destination lanes untouched, so the destination is zeroed first.
+//   - Every kernel ends with VZEROUPPER before RET to avoid AVX/SSE
+//     transition stalls in the Go code that follows.
+//   - Reduction order is fixed — (l0+l2)+(l1+l3) then the scalar tail — so
+//     results are deterministic for a given kernel variant (they differ
+//     from the pure-Go loops by rounding only; tests compare through the
+//     Higham error bound, not bitwise).
+
+// func gatherDotAsm(col *int32, data *float64, x *float64, n int) float64
+TEXT ·gatherDotAsm(SB), NOSPLIT, $0-40
+	MOVQ col+0(FP), CX
+	MOVQ data+8(FP), DX
+	MOVQ x+16(FP), SI
+	MOVQ n+24(FP), BX
+
+	VXORPD Y0, Y0, Y0      // acc
+	XORQ   AX, AX          // k
+	MOVQ   BX, DI
+	SUBQ   $3, DI          // n-3: last k with a full 4-lane chunk
+
+vec4:
+	CMPQ AX, DI
+	JGE  hsum
+	VMOVDQU    (CX)(AX*4), X1        // 4 x int32 cols
+	VPMOVSXDQ  X1, Y1                // -> 4 x int64
+	VPCMPEQD   Y2, Y2, Y2            // all-ones mask: gather all 4 lanes
+	VXORPD     Y3, Y3, Y3
+	VGATHERQPD Y2, (SI)(Y1*8), Y3    // x[col[k..k+3]]
+	VFMADD231PD (DX)(AX*8), Y3, Y0   // acc += data * gathered
+	PREFETCHT0 384(DX)(AX*8)
+	PREFETCHT0 192(CX)(AX*4)
+	ADDQ $4, AX
+	JMP  vec4
+
+hsum:
+	VEXTRACTF128 $1, Y0, X4
+	VADDPD       X4, X0, X0          // [l0+l2, l1+l3]
+	VHADDPD      X0, X0, X0          // (l0+l2)+(l1+l3)
+
+tail:
+	CMPQ AX, BX
+	JGE  done
+	MOVLQSX (CX)(AX*4), R8
+	VMOVSD  (SI)(R8*8), X5
+	VFMADD231SD (DX)(AX*8), X5, X0
+	INCQ AX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	MOVSD X0, ret+32(FP)
+	RET
+
+// func ellRowsAsm(cols *int32, data *float64, x *float64, y *float64, width, rows int)
+TEXT ·ellRowsAsm(SB), NOSPLIT, $0-48
+	MOVQ cols+0(FP), CX
+	MOVQ data+8(FP), DX
+	MOVQ x+16(FP), SI
+	MOVQ y+24(FP), DI
+	MOVQ width+32(FP), R10
+	MOVQ rows+40(FP), R11
+
+	MOVQ R10, R13
+	SUBQ $3, R13           // width-3
+	XORQ R12, R12          // row
+
+rowloop:
+	CMPQ R12, R11
+	JGE  alldone
+	MOVQ  R12, AX
+	IMULQ R10, AX          // element base = row*width
+	VXORPD Y0, Y0, Y0      // row acc
+	XORQ   BX, BX          // j
+
+chunk:
+	CMPQ BX, R13
+	JGE  rowhsum
+	LEAQ (AX)(BX*1), R8              // element index base+j
+	VMOVDQU    (CX)(R8*4), X1
+	VPMOVSXDQ  X1, Y1
+	VPCMPEQD   Y2, Y2, Y2            // all-ones = -1 per qword lane
+	VPCMPGTQ   Y2, Y1, Y3            // mask = col > -1 (real entries)
+	VXORPD     Y4, Y4, Y4
+	VGATHERQPD Y3, (SI)(Y1*8), Y4
+	VFMADD231PD (DX)(R8*8), Y4, Y0   // padded lanes: 0.0 * 0 = 0
+	ADDQ $4, BX
+	JMP  chunk
+
+rowhsum:
+	VEXTRACTF128 $1, Y0, X5
+	VADDPD       X5, X0, X0
+	VHADDPD      X0, X0, X0
+
+rowtail:
+	CMPQ BX, R10
+	JGE  rowstore
+	LEAQ (AX)(BX*1), R8
+	MOVLQSX (CX)(R8*4), R9
+	TESTQ R9, R9
+	JS    rowstore                   // pad column: trailing, row is done
+	VMOVSD (SI)(R9*8), X6
+	VFMADD231SD (DX)(R8*8), X6, X0
+	INCQ BX
+	JMP  rowtail
+
+rowstore:
+	VMOVSD X0, (DI)(R12*8)
+	INCQ R12
+	JMP  rowloop
+
+alldone:
+	VZEROUPPER
+	RET
+
+// func sellSliceAsm(cols *int32, data *float64, x *float64, sums *float64, width int)
+//
+// Slice height is fixed at 8 (SELLC): lanes 0-3 accumulate in Y0, lanes 4-7
+// in Y1. Layout is lane-major, so column j of the slice is 8 consecutive
+// entries.
+TEXT ·sellSliceAsm(SB), NOSPLIT, $0-40
+	MOVQ cols+0(FP), CX
+	MOVQ data+8(FP), DX
+	MOVQ x+16(FP), SI
+	MOVQ sums+24(FP), DI
+	MOVQ width+32(FP), R10
+
+	VXORPD Y0, Y0, Y0      // acc lanes 0-3
+	VXORPD Y1, Y1, Y1      // acc lanes 4-7
+	XORQ   BX, BX          // j
+
+jloop:
+	CMPQ BX, R10
+	JGE  store
+	MOVQ BX, R8
+	SHLQ $3, R8                      // element base = j*8
+	VMOVDQU     (CX)(R8*4), Y2       // 8 x int32 cols
+	VPMOVSXDQ   X2, Y3               // lanes 0-3
+	VEXTRACTI128 $1, Y2, X4
+	VPMOVSXDQ   X4, Y5               // lanes 4-7
+	VPCMPEQD   Y6, Y6, Y6
+	VPCMPGTQ   Y6, Y3, Y7
+	VXORPD     Y8, Y8, Y8
+	VGATHERQPD Y7, (SI)(Y3*8), Y8
+	VFMADD231PD (DX)(R8*8), Y8, Y0
+	VPCMPEQD   Y6, Y6, Y6
+	VPCMPGTQ   Y6, Y5, Y7
+	VXORPD     Y9, Y9, Y9
+	VGATHERQPD Y7, (SI)(Y5*8), Y9
+	VFMADD231PD 32(DX)(R8*8), Y9, Y1
+	PREFETCHT0 512(DX)(R8*8)
+	PREFETCHT0 256(CX)(R8*4)
+	INCQ BX
+	JMP  jloop
+
+store:
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func jdsAccumAsm(col *int32, data *float64, x *float64, yp *float64, n int)
+TEXT ·jdsAccumAsm(SB), NOSPLIT, $0-40
+	MOVQ col+0(FP), CX
+	MOVQ data+8(FP), DX
+	MOVQ x+16(FP), SI
+	MOVQ yp+24(FP), DI
+	MOVQ n+32(FP), BX
+
+	XORQ AX, AX            // r
+	MOVQ BX, R9
+	SUBQ $3, R9            // n-3
+
+vec4:
+	CMPQ AX, R9
+	JGE  tail
+	VMOVDQU    (CX)(AX*4), X1
+	VPMOVSXDQ  X1, Y1
+	VPCMPEQD   Y2, Y2, Y2
+	VXORPD     Y3, Y3, Y3
+	VGATHERQPD Y2, (SI)(Y1*8), Y3
+	VMOVUPD    (DI)(AX*8), Y4
+	VFMADD231PD (DX)(AX*8), Y3, Y4
+	VMOVUPD    Y4, (DI)(AX*8)
+	PREFETCHT0 384(DX)(AX*8)
+	PREFETCHT0 384(DI)(AX*8)
+	PREFETCHT0 192(CX)(AX*4)
+	ADDQ $4, AX
+	JMP  vec4
+
+tail:
+	CMPQ AX, BX
+	JGE  done
+	MOVLQSX (CX)(AX*4), R8
+	VMOVSD  (SI)(R8*8), X5
+	VMOVSD  (DI)(AX*8), X6
+	VFMADD231SD (DX)(AX*8), X5, X6
+	VMOVSD  X6, (DI)(AX*8)
+	INCQ AX
+	JMP  tail
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,51 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkCSRRowDot locates the row-length break-even of the gathered
+// AVX2 dot product against the unrolled scalar loop — the measurement
+// behind the vecMinRow threshold in kernels.go.
+func BenchmarkCSRRowDot(b *testing.B) {
+	if !HasVectorKernels() {
+		b.Skip("no assembly kernels on this host/build")
+	}
+	const cols = 1 << 16
+	x := make([]float64, cols)
+	rng := rand.New(rand.NewSource(5))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for _, n := range []int{8, 12, 16, 24, 32, 64, 256, 4096} {
+		col := make([]int32, n)
+		data := make([]float64, n)
+		for i := range col {
+			col[i] = int32((i * 97) % cols)
+			data[i] = rng.NormFloat64()
+		}
+		for _, variant := range []string{"vector", "scalar"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, variant), func(b *testing.B) {
+				prev := ForceGenericKernels(variant == "scalar")
+				defer ForceGenericKernels(prev)
+				var sink float64
+				for i := 0; i < b.N; i++ {
+					if vectorOn.Load() {
+						sink += csrRowDot(col, data, x)
+					} else {
+						var sum float64
+						for k := range col {
+							sum += data[k] * x[col[k]]
+						}
+						sink += sum
+					}
+				}
+				benchSink = sink
+			})
+		}
+	}
+}
+
+var benchSink float64

@@ -213,6 +213,7 @@ func (m *SELL) SpMV(y, x []float64) {
 
 func (m *SELL) spmvSlices(y, x []float64, slo, shi int) {
 	var acc [SELLC]float64
+	vec := vectorOn.Load()
 	for s := slo; s < shi; s++ {
 		lo := s * SELLC
 		hi := lo + SELLC
@@ -225,6 +226,17 @@ func (m *SELL) spmvSlices(y, x []float64, slo, shi int) {
 		sums := acc[:height]
 		for r := range sums {
 			sums[r] = 0
+		}
+		// Full-height slices go to the assembly kernel, which accumulates
+		// all 8 lanes with masked gathers. Only the final (short) slice of
+		// a matrix whose row count is not a multiple of SELLC stays on the
+		// generic loop.
+		if vec && height == SELLC && w > 0 {
+			sellSliceAsm(&m.Cols[base], &m.Data[base], &x[0], &acc[0], w)
+			for r := 0; r < height; r++ {
+				y[m.Perm[lo+r]] = sums[r]
+			}
+			continue
 		}
 		for j := 0; j < w; j++ {
 			off := base + j*height

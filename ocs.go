@@ -59,6 +59,9 @@ const (
 	SELL = sparse.FmtSELL
 	// CSC is the compressed-sparse-column extension format.
 	CSC = sparse.FmtCSC
+	// JDS is the jagged-diagonal-storage extension format: descending
+	// row-length permutation, padding-free diagonal-major layout.
+	JDS = sparse.FmtJDS
 )
 
 // Matrix is the storage-format interface: y = A*x plus shape metadata.
