@@ -16,6 +16,7 @@
 //	GET    /metrics               Prometheus text exposition (?format=json for legacy JSON)
 //	GET    /buildinfo             module version, VCS revision, Go version, GOMAXPROCS
 //	GET    /debug/decisions       recent decision traces as JSON (?n= bounds the count)
+//	GET    /debug/retrain         online retrainer status (generation, drift, swaps)
 //	GET    /debug/pprof/          net/http/pprof (only with -pprof)
 //
 // Run with trained predictors for real format selection:
@@ -25,6 +26,12 @@
 //
 // Without predictors only stage 1 (tripcount prediction) runs and matrices
 // never convert — useful for functional testing.
+//
+// With -retrain the daemon self-tunes: a background loop harvests completed
+// decision traces from the journal, watches per-workload-class drift
+// (prediction error, regret), retrains the stage-2 cost models on locally
+// measured timings, and hot-swaps validated bundles into the live registry
+// (see internal/retrain and DESIGN.md §14).
 package main
 
 import (
@@ -40,6 +47,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/retrain"
 	"repro/internal/server"
 
 	ocs "repro"
@@ -59,6 +67,12 @@ func main() {
 		serial       = flag.Bool("serial", false, "use serial SpMV kernels (pool provides the parallelism)")
 		async        = flag.Bool("async", true, "run stage-2 selection (features, prediction, conversion) on a background worker instead of stalling the triggering request")
 		journalCap   = flag.Int("journal", 0, "decision journal capacity (0 = default)")
+		stage0       = flag.Bool("stage0", false, "enable the stage-0 structural classifier (obvious keep-CSR matrices skip stage 2)")
+		retrainOn    = flag.Bool("retrain", false, "enable the online retraining loop: drift-triggered model refresh with hot-swap")
+		retrainIv    = flag.Duration("retrain-interval", 30*time.Second, "how often the retrainer scans the decision journal")
+		retrainMin   = flag.Int("retrain-min-samples", 8, "harvested samples required before drift triggers retraining")
+		retrainDir   = flag.String("retrain-dir", "", "directory to persist accepted model bundles (empty = no persistence)")
+		retrainErr   = flag.Float64("retrain-err-threshold", 0.5, "windowed mean relative prediction error that counts as drift")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		logJSON      = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -95,18 +109,47 @@ func main() {
 	default:
 		logger.Info("no predictors (-models/-train): stage 2 disabled, matrices stay on CSR")
 	}
+	var selCfg *core.Config
+	if *stage0 {
+		c := core.DefaultConfig()
+		c.Stage0 = core.DefaultStage0()
+		selCfg = &c
+	}
 	srv := server.New(server.Config{
 		MaxRegistryNNZ:      *maxNNZ,
 		Workers:             *workers,
 		QueueDepth:          *queue,
 		DefaultSolveTimeout: *solveTimeout,
 		Preds:               preds,
+		Selector:            selCfg,
 		SerialKernels:       *serial,
 		Async:               *async,
 		JournalCapacity:     *journalCap,
 		EnablePprof:         *enablePprof,
 		Logger:              logger,
 	})
+	var loop *retrain.Loop
+	if *retrainOn {
+		l, err := retrain.New(retrain.Config{
+			Journal:      srv.Journal(),
+			Target:       srv,
+			Interval:     *retrainIv,
+			MinSamples:   *retrainMin,
+			ErrThreshold: *retrainErr,
+			SaveDir:      *retrainDir,
+			Logger:       logger,
+		})
+		if err != nil {
+			logger.Error("building retrain loop failed", "error", err)
+			os.Exit(1)
+		}
+		loop = l
+		srv.AttachRetrain(loop)
+		loop.Start()
+		logger.Info("online retraining enabled",
+			"interval", retrainIv.String(), "min_samples", *retrainMin,
+			"err_threshold", *retrainErr, "save_dir", *retrainDir)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -131,6 +174,9 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
+	if loop != nil {
+		loop.Stop()
+	}
 	if err := srv.Drain(ctx); err != nil {
 		logger.Warn("drain incomplete", "error", err)
 	}

@@ -19,6 +19,9 @@ type Stats struct {
 	Stage1Ran bool
 	// PredictedTotal is stage 1's tripcount estimate (0 if stage 1 never ran).
 	PredictedTotal int
+	// Stage0Skip reports that the structural classifier short-circuited
+	// stage 2 as an obvious keep-CSR case (Config.Stage0).
+	Stage0Skip bool
 	// Stage2Ran reports whether feature extraction + model inference ran.
 	Stage2Ran bool
 	// Decision is the stage-2 outcome (zero value if stage 2 never ran).
@@ -258,6 +261,22 @@ func (ad *Adaptive) runStage1() (tr obs.DecisionTrace, remaining int, ok bool) {
 			}
 		}
 	}
+	// Stage-0 structural classifier: one cheap pass that recognizes obvious
+	// keep-CSR matrices before the expensive Table I extraction runs. Its
+	// (tiny) cost is part of T_predict and always paid — it runs inline on
+	// the solver's critical path even under Async.
+	if ad.cfg.Stage0.Enabled {
+		start := ad.clock.Now()
+		stay := ad.cfg.Stage0.ObviousStay(ExtractCheap(ad.csr))
+		stage0 := timing.Since(ad.clock, start).Seconds()
+		ad.stats.PredictSeconds += stage0
+		ad.stats.PaidSeconds += stage0
+		if stay {
+			ad.stats.Stage0Skip = true
+			tr.Stage0Skip = true
+			return tr, remaining, false
+		}
+	}
 	return tr, remaining, true
 }
 
@@ -274,7 +293,11 @@ func (ad *Adaptive) runStage2Inline(tr *obs.DecisionTrace, remaining int) {
 	start = ad.clock.Now()
 	d := ad.preds.Decide(fs, bsrBlocks, float64(remaining), ad.cfg.Lim, ad.cfg.Margin)
 	ad.stats.PredictSeconds += timing.Since(ad.clock, start).Seconds()
-	ad.recordStage2(tr, d, remaining)
+	var fvec []float64
+	if ad.cfg.Journal != nil {
+		fvec = fs.Vector()
+	}
+	ad.recordStage2(tr, d, remaining, fvec, ad.preds.Generation)
 	if d.Format == sparse.FmtCSR {
 		ad.stats.PaidSeconds = ad.OverheadSeconds()
 		ad.finishTrace(tr, d)
@@ -301,15 +324,20 @@ func (ad *Adaptive) runStage2Inline(tr *obs.DecisionTrace, remaining int) {
 
 // recordStage2 folds a stage-2 decision into the stats and the trace,
 // including the margin inequality the argmin applied: the cheapest non-CSR
-// candidate had to undercut staying by Margin to win.
-func (ad *Adaptive) recordStage2(tr *obs.DecisionTrace, d Decision, remaining int) {
+// candidate had to undercut staying by Margin to win. fvec is the feature
+// vector the decision consumed (nil when untraced) and gen the generation
+// of the predictor bundle that made it — recorded so a completed trace is
+// self-contained training data for the online retrainer.
+func (ad *Adaptive) recordStage2(tr *obs.DecisionTrace, d Decision, remaining int, fvec []float64, gen int64) {
 	ad.stats.Stage2Ran = true
 	ad.stats.Decision = d
 	tr.Stage2Ran = true
 	tr.Chosen = d.Format.String()
+	tr.ModelGen = gen
 	if ad.cfg.Journal == nil {
 		return
 	}
+	tr.Features = fvec
 	tr.PredictedCostByFormat = formatKeyed(d.PredictedCost)
 	tr.PredictedSpMVNormByFormat = formatKeyed(d.PredictedSpMV)
 	tr.PredictedConvNormByFormat = formatKeyed(d.PredictedConv)
@@ -399,6 +427,25 @@ func (ad *Adaptive) Stats() Stats {
 
 // Format returns the format SpMV currently runs on.
 func (ad *Adaptive) Format() sparse.Format { return ad.stats.Format }
+
+// SetPredictors hot-swaps the stage-2 model bundle. A wrapper whose
+// pipeline has not fired yet will decide with the new bundle; one that has
+// already decided keeps its outcome (decisions are final per handle) but
+// records nothing stale — the bundle pointer is only read at decision time.
+// An in-flight background stage-2 job keeps the bundle it captured at
+// launch, so a swap never tears a decision in half. Like every Adaptive
+// method this must run on the solver goroutine; SafeAdaptive provides the
+// concurrent version.
+func (ad *Adaptive) SetPredictors(p *Predictors) { ad.preds = p }
+
+// ModelGeneration reports the generation of the bundle the wrapper would
+// decide (or decided) with, 0 when no bundle is installed.
+func (ad *Adaptive) ModelGeneration() int64 {
+	if ad.preds == nil {
+		return 0
+	}
+	return ad.preds.Generation
+}
 
 // TraceID returns the journal ID of this wrapper's decision trace, with
 // ok=false before the pipeline has run or when no journal is configured.

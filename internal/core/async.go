@@ -39,6 +39,8 @@ type stage2Job struct {
 	feature    float64
 	predict    float64
 	convert    float64
+	fvec       []float64 // Table I vector for the journal, when one is kept
+	gen        int64     // generation of the bundle captured at launch
 }
 
 // launchStage2 dispatches stage 2 to a background worker and returns
@@ -83,6 +85,10 @@ func (j *stage2Job) run(csr *sparse.CSR, preds *Predictors, cfg Config, clock ti
 	j.predict = timing.Since(clock, start).Seconds()
 	j.d = d
 	j.decided = true
+	j.gen = preds.Generation
+	if cfg.Journal != nil {
+		j.fvec = fs.Vector()
+	}
 	if d.Format == sparse.FmtCSR || j.canceled.Load() {
 		return
 	}
@@ -176,7 +182,7 @@ func (ad *Adaptive) adopt(j *stage2Job) {
 		ad.journalTrace(tr)
 		return
 	}
-	ad.recordStage2(&tr, j.d, j.remaining)
+	ad.recordStage2(&tr, j.d, j.remaining, j.fvec, j.gen)
 	switch {
 	case j.m != nil:
 		ad.cur = j.m

@@ -102,6 +102,23 @@ func (s *SafeAdaptive) Format() sparse.Format {
 	return s.ad.Format()
 }
 
+// SetPredictors hot-swaps the stage-2 model bundle under the handle lock.
+// A handle whose pipeline has not fired yet decides with the new bundle;
+// one that already decided is unaffected (decisions are final per handle).
+func (s *SafeAdaptive) SetPredictors(p *Predictors) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ad.SetPredictors(p)
+}
+
+// ModelGeneration reports the generation of the installed bundle, 0 when
+// none is installed.
+func (s *SafeAdaptive) ModelGeneration() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ad.ModelGeneration()
+}
+
 // OverheadSeconds is the total measured selector overhead so far.
 func (s *SafeAdaptive) OverheadSeconds() float64 {
 	s.mu.Lock()

@@ -72,6 +72,12 @@ type Config struct {
 	// model allows. The decision trace splits the overhead into paid vs
 	// hidden seconds accordingly.
 	Async bool
+	// Stage0 configures the near-zero-cost structural classifier in front
+	// of stage 2 (see stage0.go): obvious keep-CSR matrices skip feature
+	// extraction and model inference entirely, recorded in the trace as
+	// stage0_skip. The zero value disables it; DefaultStage0() enables it
+	// with conservative bands.
+	Stage0 Stage0
 	// Lim bounds format conversions.
 	Lim sparse.Limits
 	// Tripcount configures the stage-1 ARIMA predictor.
@@ -116,6 +122,29 @@ func DefaultConfig() Config {
 type Predictors struct {
 	ConvTime map[sparse.Format]*gbt.Model
 	SpMVTime map[sparse.Format]*gbt.Model
+	// Generation identifies the bundle's era: 0 for an offline-trained seed
+	// bundle, incremented by the online retrainer on every accepted
+	// hot-swap. Decision traces record the generation they were made with,
+	// so regret can be attributed to a model era. A bundle is immutable
+	// once published — the retrainer swaps whole bundles, never mutates.
+	Generation int64
+}
+
+// Clone returns a new bundle sharing the (immutable) models, so a caller
+// can replace some formats' models without mutating the published bundle.
+func (p *Predictors) Clone() *Predictors {
+	c := NewPredictors()
+	if p == nil {
+		return c
+	}
+	c.Generation = p.Generation
+	for f, m := range p.ConvTime {
+		c.ConvTime[f] = m
+	}
+	for f, m := range p.SpMVTime {
+		c.SpMVTime[f] = m
+	}
+	return c
 }
 
 // NewPredictors allocates an empty bundle.

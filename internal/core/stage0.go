@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// This file implements the stage-0 structural classifier: a near-zero-cost
+// filter in front of the stage-2 cost model, in the spirit of Elafrou et
+// al.'s lightweight feature-based format classifiers (arXiv:1511.02494).
+// Stage 2 pays a full Table I feature extraction (several passes over the
+// CSR arrays) plus model inference; for a large class of matrices the
+// outcome is a foregone conclusion — nothing about their structure lets any
+// alternative format beat CSR — and stage 0 recognizes them from three
+// features computable in one cheap pass: the density band, the row-length
+// coefficient of variation, and the main-diagonal occupancy fraction.
+//
+// The classifier is deliberately one-sided: it only ever answers "obviously
+// stay on CSR" (skipping stage 2 entirely, recorded in the decision trace as
+// stage0_skip) or "unsure" (fall through to stage 2). It never picks a
+// non-CSR format on its own — that remains the cost model's job, because
+// converting is the risky direction the paper's overhead accounting exists
+// to police.
+
+// Stage0 configures the structural classifier. The zero value is disabled;
+// DefaultStage0 returns an enabled configuration with conservative bands.
+type Stage0 struct {
+	// Enabled turns the classifier on.
+	Enabled bool
+	// MaxDiagFrac is the main-diagonal occupancy fraction (occupied main
+	// diagonal slots / rows) below which DIA-family formats are considered
+	// out of the running. A matrix with a dense main diagonal usually has
+	// more diagonal structure nearby, so it falls through to stage 2.
+	MaxDiagFrac float64
+	// MinCV and MaxCV bound the row-length coefficient-of-variation band in
+	// which neither the regular-row formats (ELL/SELL: want low CV) nor the
+	// skew-exploiting ones (JDS/HYB/CSR5: want high CV or heavy tails) have
+	// an edge over CSR.
+	MinCV float64
+	// MaxCV — see MinCV.
+	MaxCV float64
+	// MaxDensity bounds the density band: above it the matrix is dense
+	// enough that blocked/regular layouts may pay, so stage 2 must judge.
+	MaxDensity float64
+}
+
+// DefaultStage0 returns the enabled classifier with its conservative
+// default bands: skip stage 2 only when the matrix has no meaningful
+// diagonal structure (< 30% main-diagonal occupancy), mid-band row
+// irregularity (CV in [0.4, 1.6] — too ragged for ELL padding, not skewed
+// enough for JDS), and low density (< 25%).
+func DefaultStage0() Stage0 {
+	return Stage0{
+		Enabled:     true,
+		MaxDiagFrac: 0.30,
+		MinCV:       0.4,
+		MaxCV:       1.6,
+		MaxDensity:  0.25,
+	}
+}
+
+// CheapFeatures is the stage-0 feature triple. Extraction is one O(rows)
+// pass over the row-pointer array plus one binary search per row for the
+// diagonal — orders of magnitude cheaper than features.Extract, which is the
+// point: stage 0 must cost less than the decision it saves.
+type CheapFeatures struct {
+	// Density is nnz / (rows * cols).
+	Density float64
+	// RowCV is the coefficient of variation (stddev / mean) of the
+	// per-row nonzero counts.
+	RowCV float64
+	// DiagFrac is the fraction of rows whose main-diagonal slot is
+	// occupied (min(rows, cols) is the denominator).
+	DiagFrac float64
+}
+
+// ExtractCheap computes the stage-0 features of a CSR matrix.
+func ExtractCheap(a *sparse.CSR) CheapFeatures {
+	rows, cols := a.Dims()
+	nnz := a.NNZ()
+	var cf CheapFeatures
+	if rows == 0 || cols == 0 || nnz == 0 {
+		return cf
+	}
+	cf.Density = float64(nnz) / (float64(rows) * float64(cols))
+
+	var sum, sumSq float64
+	diagSlots := rows
+	if cols < diagSlots {
+		diagSlots = cols
+	}
+	diagHits := 0
+	for i := 0; i < rows; i++ {
+		lo, hi := a.Ptr[i], a.Ptr[i+1]
+		rd := float64(hi - lo)
+		sum += rd
+		sumSq += rd * rd
+		if i < diagSlots {
+			// Column indices are sorted within a row; binary-search the
+			// main-diagonal slot.
+			row := a.Col[lo:hi]
+			k := sort.Search(len(row), func(k int) bool { return int(row[k]) >= i })
+			if k < len(row) && int(row[k]) == i {
+				diagHits++
+			}
+		}
+	}
+	mean := sum / float64(rows)
+	if mean > 0 {
+		variance := sumSq/float64(rows) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		cf.RowCV = math.Sqrt(variance) / mean
+	}
+	if diagSlots > 0 {
+		cf.DiagFrac = float64(diagHits) / float64(diagSlots)
+	}
+	return cf
+}
+
+// ObviousStay reports whether the classifier is confident no alternative
+// format can beat CSR for a matrix with these features: no diagonal
+// structure worth DIA, row irregularity in the dead band where neither
+// padding-based nor skew-exploiting layouts win, and density too low for
+// blocked layouts to matter.
+func (s Stage0) ObviousStay(cf CheapFeatures) bool {
+	if !s.Enabled {
+		return false
+	}
+	return cf.DiagFrac < s.MaxDiagFrac &&
+		cf.RowCV >= s.MinCV && cf.RowCV <= s.MaxCV &&
+		cf.Density < s.MaxDensity
+}

@@ -1,0 +1,185 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matgen"
+	"repro/internal/obs"
+	"repro/internal/sparse"
+	"repro/internal/timing"
+)
+
+// mustCSR builds a small CSR directly, for exact-value feature tests.
+func mustCSR(t *testing.T, rows, cols int, ptr []int, col []int32, data []float64) *sparse.CSR {
+	t.Helper()
+	m, err := sparse.NewCSR(rows, cols, ptr, col, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExtractCheapExactValues(t *testing.T) {
+	t.Run("identity", func(t *testing.T) {
+		// 3x3 identity: full diagonal, perfectly regular rows.
+		m := mustCSR(t, 3, 3, []int{0, 1, 2, 3}, []int32{0, 1, 2}, []float64{1, 1, 1})
+		cf := core.ExtractCheap(m)
+		if !approx(cf.Density, 3.0/9.0) {
+			t.Errorf("density = %g, want 1/3", cf.Density)
+		}
+		if !approx(cf.RowCV, 0) {
+			t.Errorf("row CV = %g, want 0 (all rows length 1)", cf.RowCV)
+		}
+		if !approx(cf.DiagFrac, 1) {
+			t.Errorf("diag frac = %g, want 1", cf.DiagFrac)
+		}
+	})
+
+	t.Run("off-diagonal-irregular", func(t *testing.T) {
+		// 3x4, row lengths 1/2/3, no main-diagonal slot occupied:
+		//   row 0: col 3;  row 1: cols 0,2;  row 2: cols 0,1,3.
+		m := mustCSR(t, 3, 4, []int{0, 1, 3, 6},
+			[]int32{3, 0, 2, 0, 1, 3}, []float64{1, 1, 1, 1, 1, 1})
+		cf := core.ExtractCheap(m)
+		if !approx(cf.Density, 6.0/12.0) {
+			t.Errorf("density = %g, want 1/2", cf.Density)
+		}
+		// Lengths 1,2,3: mean 2, variance 2/3, CV = sqrt(2/3)/2.
+		want := 0.40824829046386296
+		if !approx(cf.RowCV, want) {
+			t.Errorf("row CV = %g, want %g", cf.RowCV, want)
+		}
+		if !approx(cf.DiagFrac, 0) {
+			t.Errorf("diag frac = %g, want 0", cf.DiagFrac)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		m := mustCSR(t, 2, 2, []int{0, 0, 0}, nil, nil)
+		if cf := core.ExtractCheap(m); cf != (core.CheapFeatures{}) {
+			t.Errorf("empty matrix features = %+v, want zero", cf)
+		}
+	})
+}
+
+func TestObviousStayBands(t *testing.T) {
+	s := core.DefaultStage0()
+	in := core.CheapFeatures{Density: 0.01, RowCV: 0.8, DiagFrac: 0.1}
+	cases := []struct {
+		name string
+		cf   core.CheapFeatures
+		want bool
+	}{
+		{"dead-band", in, true},
+		{"diag-heavy", core.CheapFeatures{Density: 0.01, RowCV: 0.8, DiagFrac: 0.9}, false},
+		{"too-regular", core.CheapFeatures{Density: 0.01, RowCV: 0.1, DiagFrac: 0.1}, false},
+		{"too-skewed", core.CheapFeatures{Density: 0.01, RowCV: 2.5, DiagFrac: 0.1}, false},
+		{"too-dense", core.CheapFeatures{Density: 0.5, RowCV: 0.8, DiagFrac: 0.1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := s.ObviousStay(tc.cf); got != tc.want {
+				t.Errorf("ObviousStay(%+v) = %v, want %v", tc.cf, got, tc.want)
+			}
+		})
+	}
+	// The zero value (and any disabled config) never short-circuits, even on
+	// a feature triple squarely inside the default bands.
+	if (core.Stage0{}).ObviousStay(in) {
+		t.Error("disabled classifier claimed an obvious stay")
+	}
+}
+
+// TestStage0SkipPipeline replays the pipeline with the classifier tuned
+// (from the matrix's own cheap features) to fire, and asserts the skip is
+// visible everywhere it should be: stats, the journaled trace, its Render,
+// and the clock arithmetic — stage 0 costs exactly one timed region and
+// stage 2 costs nothing.
+func TestStage0SkipPipeline(t *testing.T) {
+	preds := predictors(t)
+	clk := timing.NewFakeClock()
+	clk.SetAutoStep(time.Millisecond)
+	journal := obs.NewJournal(0)
+	m := genCSR(t, matgen.FamBanded, 4000, 7)
+
+	// Bands built around the matrix's own features, so the verdict is
+	// "obviously stay" by construction.
+	cf := core.ExtractCheap(m)
+	cfg := traceConfig(clk, journal)
+	cfg.Stage0 = core.Stage0{
+		Enabled:     true,
+		MaxDiagFrac: cf.DiagFrac + 1,
+		MinCV:       cf.RowCV - 0.01,
+		MaxCV:       cf.RowCV + 0.01,
+		MaxDensity:  cf.Density + 1,
+	}
+	ad := core.NewAdaptive(m, 1e-8, preds, cfg, false)
+	driveLoop(ad, 20, 1, 0.995)
+
+	st := ad.Stats()
+	if !st.Stage0Skip || st.Stage2Ran || st.Converted {
+		t.Fatalf("want stage0 skip without stage 2: %+v", st)
+	}
+	if st.Format != sparse.FmtCSR {
+		t.Errorf("format = %v, want CSR", st.Format)
+	}
+	// Scripted costs: stage 1 is one timed region (1ms), stage 0 another
+	// (1ms); feature extraction and conversion never ran.
+	if !approx(st.PredictSeconds, 0.002) || !approx(st.PaidSeconds, 0.002) {
+		t.Errorf("predict/paid = %g/%g, want 0.002/0.002", st.PredictSeconds, st.PaidSeconds)
+	}
+	if st.FeatureSeconds != 0 || st.ConvertSeconds != 0 {
+		t.Errorf("feature/convert = %g/%g, want 0/0", st.FeatureSeconds, st.ConvertSeconds)
+	}
+
+	tr := fetchTrace(t, ad, journal)
+	if !tr.Stage0Skip || tr.Stage2Ran {
+		t.Fatalf("trace: stage0_skip=%v stage2_ran=%v, want true/false", tr.Stage0Skip, tr.Stage2Ran)
+	}
+	if tr.Chosen != sparse.FmtCSR.String() {
+		t.Errorf("trace chose %q, want csr", tr.Chosen)
+	}
+	if out := tr.Render(); !strings.Contains(out, "stage0: structural classifier kept CSR") {
+		t.Errorf("Render missing the stage-0 line:\n%s", out)
+	}
+}
+
+// TestStage0FallThrough forces the classifier to answer "unsure" (an
+// impossible density band) and asserts the pipeline proceeds to a normal
+// stage-2 conversion — with the extra stage-0 region visible in the
+// overhead accounting.
+func TestStage0FallThrough(t *testing.T) {
+	preds := predictors(t)
+	clk := timing.NewFakeClock()
+	clk.SetAutoStep(time.Millisecond)
+	journal := obs.NewJournal(0)
+	cfg := traceConfig(clk, journal)
+	cfg.Stage0 = core.DefaultStage0()
+	cfg.Stage0.MaxDensity = 0 // density < 0 is impossible: never skip
+	m := genCSR(t, matgen.FamBanded, 4000, 7)
+	ad := core.NewAdaptive(m, 1e-8, preds, cfg, false)
+	driveLoop(ad, 20, 1, 0.995)
+
+	st := ad.Stats()
+	if st.Stage0Skip {
+		t.Fatal("stage 0 skipped despite an impossible band")
+	}
+	if !st.Stage2Ran || !st.Converted {
+		t.Fatalf("pipeline did not fall through to a conversion: %+v", st.Decision)
+	}
+	tr := fetchTrace(t, ad, journal)
+	if tr.Stage0Skip {
+		t.Error("trace claims stage0_skip on the fall-through path")
+	}
+	// Overhead gains exactly the one extra stage-0 region vs. the classic
+	// replay: stage1 1 + stage0 1 + decide 1 (predict) + feature 1 + convert 1.
+	if !approx(st.PredictSeconds, 0.003) {
+		t.Errorf("predict seconds = %g, want 0.003 (stage1 + stage0 + decide)", st.PredictSeconds)
+	}
+	if !approx(tr.Ledger.OverheadSeconds, 0.005) {
+		t.Errorf("ledger overhead = %g, want 0.005", tr.Ledger.OverheadSeconds)
+	}
+}

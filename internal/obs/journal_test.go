@@ -202,3 +202,78 @@ func TestTraceRender(t *testing.T) {
 		t.Errorf("blocked render:\n%s", out)
 	}
 }
+
+// TestJournalUpdateEvictedNoOp is the retrainer-era regression test: the
+// selector may stream a ledger update for a trace the ring just evicted
+// (the handle outlives its journal slot). That Update must be a clean
+// no-op — the callback must never run, the evicted trace must not be
+// resurrected, and the slot's new occupant must be untouched even though
+// it reuses the evictee's ring position.
+func TestJournalUpdateEvictedNoOp(t *testing.T) {
+	j := NewJournal(2)
+	old := j.Append(DecisionTrace{Label: "victim"})
+	j.Append(DecisionTrace{Label: "b"})
+	heir := j.Append(DecisionTrace{Label: "heir"}) // reuses victim's slot
+
+	called := false
+	if j.Update(old, func(tr *DecisionTrace) {
+		called = true
+		tr.Label = "resurrected"
+		tr.Ledger.RecordPost(1)
+	}) {
+		t.Error("Update of an evicted ID reported success")
+	}
+	if called {
+		t.Fatal("Update callback ran against an evicted ID")
+	}
+	if _, ok := j.Get(old); ok {
+		t.Error("evicted trace resurrected")
+	}
+	tr, ok := j.Get(heir)
+	if !ok || tr.Label != "heir" || tr.Ledger.PostSpMVCalls != 0 {
+		t.Fatalf("slot heir corrupted by the stale update: %+v, %v", tr, ok)
+	}
+	if j.Len() != 2 || j.LastID() != heir {
+		t.Errorf("len %d lastID %d after no-op, want 2 / %d", j.Len(), j.LastID(), heir)
+	}
+}
+
+// TestJournalUpdateEvictionRace hammers Updates against IDs that concurrent
+// Appends are evicting out from under them. Run under -race this pins the
+// locate-under-lock contract: a stale Update either lands on its own trace
+// or nowhere — never on the ID that inherited the ring slot. Each trace
+// carries its ID in Iterations so cross-contamination is detectable.
+func TestJournalUpdateEvictionRace(t *testing.T) {
+	j := NewJournal(4)
+	var wg sync.WaitGroup
+	var ids [2][]uint64
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := j.Append(DecisionTrace{})
+				j.Update(id, func(tr *DecisionTrace) { tr.Iterations = int(tr.ID) })
+				ids[g] = append(ids[g], id)
+				// Also fire updates at IDs several evictions old.
+				if i >= 8 {
+					stale := ids[g][i-8]
+					j.Update(stale, func(tr *DecisionTrace) { tr.Iterations = -1 })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if j.LastID() != 1000 {
+		t.Fatalf("lastID = %d, want 1000", j.LastID())
+	}
+	// Whatever survives must self-identify: Iterations == own ID, or the
+	// stale marker only if that exact ID was old enough to be re-targeted
+	// (it was not: stale IDs are at least 8 appends old with capacity 4, so
+	// they were always evicted before the second update could land).
+	for _, tr := range j.Recent(0) {
+		if tr.Iterations != int(tr.ID) {
+			t.Errorf("trace %d carries foreign payload %d", tr.ID, tr.Iterations)
+		}
+	}
+}

@@ -147,8 +147,23 @@ type DecisionTrace struct {
 	// Gates are the inequalities evaluated on the way to stage 2, in order.
 	Gates []GateCheck `json:"gates"`
 
+	// Stage0Skip reports that the near-zero-cost structural classifier
+	// short-circuited stage 2: the matrix was an obvious keep-CSR case (no
+	// diagonal structure, mid-band row-length variation, unblocked), so
+	// neither feature extraction nor model inference ever ran.
+	Stage0Skip bool `json:"stage0_skip,omitempty"`
 	// Stage2Ran reports whether feature extraction + model inference ran.
 	Stage2Ran bool `json:"stage2_ran"`
+	// ModelGen is the generation of the predictor bundle the stage-2
+	// decision was made with (0 for the seed bundle). The online retrainer
+	// bumps it on every accepted hot-swap, so traces record which model era
+	// produced each decision.
+	ModelGen int64 `json:"model_generation,omitempty"`
+	// Features is the Table I feature vector stage 2 extracted, recorded so
+	// a completed trace is self-contained training data: together with the
+	// ledger's measured baseline/realized times and ConvertSeconds it is
+	// exactly one trainer.Sample (see internal/retrain).
+	Features []float64 `json:"features,omitempty"`
 	// Async reports that stage 2 was dispatched to a background worker and
 	// its result adopted at a later iteration boundary, rather than running
 	// inline at the gate.
@@ -215,6 +230,10 @@ func (t DecisionTrace) Render() string {
 		b.WriteString("  stage2: canceled (solver finished before the background pipeline was adopted)\n")
 		return b.String()
 	}
+	if t.Stage0Skip {
+		b.WriteString("  stage0: structural classifier kept CSR (stage 2 skipped)\n")
+		return b.String()
+	}
 	if !t.Stage2Ran {
 		b.WriteString("  stage2: not run\n")
 		return b.String()
@@ -234,6 +253,9 @@ func (t DecisionTrace) Render() string {
 	}
 	fmt.Fprintf(&b, "  chosen %s converted=%v overhead: feature %.3gs predict %.3gs convert %.3gs\n",
 		t.Chosen, t.Converted, t.FeatureSeconds, t.PredictSeconds, t.ConvertSeconds)
+	if t.ModelGen > 0 {
+		fmt.Fprintf(&b, "  model: generation %d (online retrain)\n", t.ModelGen)
+	}
 	if t.Async {
 		fmt.Fprintf(&b, "  async: paid %.3gs on the critical path, %.3gs hidden behind in-flight iterations\n",
 			t.PaidSeconds, t.HiddenSeconds)

@@ -1,0 +1,52 @@
+package retrain_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/retrain"
+)
+
+// TestStartStopBackgroundLoop exercises the ticker path the synchronous
+// golden tests bypass: a started loop must harvest, drift and swap on its
+// own, Stop must drain the in-flight tick, and both calls must be
+// idempotent.
+func TestStartStopBackgroundLoop(t *testing.T) {
+	j := obs.NewJournal(0)
+	tgt := &fakeTarget{handles: 2}
+	cfg := loopConfig(j, tgt)
+	cfg.Interval = time.Millisecond
+	l, err := retrain.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for seed := int64(1); seed <= 12; seed++ {
+		appendConverted(j, featVec(t, seed), 0.05, 1.0, 0.004)
+	}
+	l.Start()
+	l.Start() // idempotent
+	deadline := time.Now().Add(10 * time.Second)
+	for l.Status().Generation == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background loop never swapped: %+v", l.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	l.Stop()
+	l.Stop() // idempotent
+
+	st := l.Status()
+	if st.Generation < 1 || st.Swaps < 1 || st.TracesSeen != 12 {
+		t.Fatalf("status after stop = %+v, want >=1 generation from 12 traces", st)
+	}
+	if tgt.preds == nil || tgt.preds.Generation != st.Generation {
+		t.Fatalf("target bundle generation = %v, status says %d", tgt.preds, st.Generation)
+	}
+
+	// The loop stays usable synchronously after Stop.
+	if res := l.Tick(); res.Err != nil {
+		t.Fatalf("tick after stop: %v", res.Err)
+	}
+}

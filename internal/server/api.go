@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/retrain"
 )
 
 // RegisterRequest is the body of POST /v1/matrices. Exactly one of
@@ -49,6 +50,9 @@ type SelectorStats struct {
 	Iterations     int     `json:"iterations"`
 	Stage1Ran      bool    `json:"stage1_ran"`
 	PredictedTotal int     `json:"predicted_total,omitempty"`
+	// Stage0Skip reports that the structural classifier answered "obviously
+	// stay on CSR" and stage 2 never ran for this handle.
+	Stage0Skip     bool    `json:"stage0_skip,omitempty"`
 	Stage2Ran      bool    `json:"stage2_ran"`
 	Converted      bool    `json:"converted"`
 	Format         string  `json:"format"`
@@ -71,6 +75,7 @@ func selectorStats(st core.Stats) SelectorStats {
 		Iterations:     st.Iterations,
 		Stage1Ran:      st.Stage1Ran,
 		PredictedTotal: st.PredictedTotal,
+		Stage0Skip:     st.Stage0Skip,
 		Stage2Ran:      st.Stage2Ran,
 		Converted:      st.Converted,
 		Format:         st.Format.String(),
@@ -209,6 +214,13 @@ type BuildInfo struct {
 type DecisionsResponse struct {
 	Count  int                 `json:"count"`
 	Traces []obs.DecisionTrace `json:"traces"`
+}
+
+// RetrainResponse is the body of GET /debug/retrain: the online
+// retrainer's status, or just {"enabled": false} when no loop is attached.
+type RetrainResponse struct {
+	Enabled bool            `json:"enabled"`
+	Status  *retrain.Status `json:"status,omitempty"`
 }
 
 // errorResponse is the uniform error body.

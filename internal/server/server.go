@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apps"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/mmio"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/retrain"
 	"repro/internal/sparse"
 	"repro/internal/timing"
 )
@@ -121,6 +123,16 @@ type Server struct {
 	journal *obs.Journal
 	log     *slog.Logger
 	mux     *http.ServeMux
+	// preds is the live stage-2 predictor bundle new handles are built
+	// with. It is an atomic pointer — not cfg.Preds read directly — because
+	// the online retrainer hot-swaps whole bundles while registrations are
+	// in flight; bundles themselves are immutable once published. nil means
+	// stage 1 only.
+	preds atomic.Pointer[core.Predictors]
+	// retrainLoop is the attached online retrainer, nil unless
+	// AttachRetrain was called. Atomic for the same reason as preds:
+	// /metrics and /debug/retrain may race the attach.
+	retrainLoop atomic.Pointer[retrain.Loop]
 	// team is the process-wide parallel worker team every kernel (SpMV,
 	// conversion, vector ops) dispatches through. The server warms it at
 	// construction so the first request never pays worker spawn latency,
@@ -156,6 +168,9 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		idle:    make(chan struct{}),
 	}
+	if cfg.Preds != nil {
+		s.preds.Store(cfg.Preds)
+	}
 	if !cfg.SerialKernels {
 		s.team = parallel.Default()
 	}
@@ -163,6 +178,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
 	s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
+	s.mux.HandleFunc("GET /debug/retrain", s.handleRetrain)
 	s.mux.Handle("POST /v1/matrices", s.track(s.handleRegister))
 	s.mux.Handle("GET /v1/matrices", s.track(s.handleList))
 	s.mux.Handle("GET /v1/matrices/{id}", s.track(s.handleGet))
@@ -193,6 +209,44 @@ func (s *Server) Journal() *obs.Journal { return s.journal }
 
 // Registry exposes the matrix registry (primarily for tests and the daemon).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Predictors returns the live stage-2 bundle new handles are built with
+// (nil = stage 1 only). Together with SetPredictors it makes the Server a
+// retrain.Target.
+func (s *Server) Predictors() *core.Predictors { return s.preds.Load() }
+
+// SetPredictors hot-swaps the stage-2 predictor bundle: future
+// registrations build on it immediately, and every currently registered
+// handle whose pipeline has not decided yet receives it under its own
+// handle lock (a handle that already decided keeps its outcome — decisions
+// are final per handle, the paper's one-conversion-per-lifetime model).
+// Returns how many live handles were updated. p must be treated as
+// immutable after the call.
+func (s *Server) SetPredictors(p *core.Predictors) int {
+	s.preds.Store(p)
+	hs := s.reg.List()
+	for _, h := range hs {
+		h.SA.SetPredictors(p)
+	}
+	return len(hs)
+}
+
+// AttachRetrain connects an online retraining loop: /debug/retrain starts
+// serving its status and /metrics picks up its counter families. The caller
+// owns the loop's lifecycle (Start/Stop).
+func (s *Server) AttachRetrain(l *retrain.Loop) { s.retrainLoop.Store(l) }
+
+// handleRetrain serves the retrainer's status, or {"enabled": false} when
+// no loop is attached.
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	l := s.retrainLoop.Load()
+	if l == nil {
+		s.writeJSON(w, http.StatusOK, RetrainResponse{Enabled: false})
+		return
+	}
+	st := l.Status()
+	s.writeJSON(w, http.StatusOK, RetrainResponse{Enabled: true, Status: &st})
+}
 
 // track wraps a /v1 handler with request accounting and drain gating: once
 // Drain has been called, new work is refused with 503 while in-flight
@@ -332,9 +386,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", obs.ContentType)
 	w.WriteHeader(http.StatusOK)
-	_ = obs.WriteText(w, s.metrics.Families(s.team,
+	extra := []obs.Family{
 		obs.ScalarFamily("ocsd_decision_traces", "Decision traces currently held in the journal.", obs.KindGauge, float64(s.journal.Len())),
-	))
+	}
+	if l := s.retrainLoop.Load(); l != nil {
+		extra = append(extra, l.MetricFamilies()...)
+	}
+	_ = obs.WriteText(w, s.metrics.Families(s.team, extra...))
 }
 
 // handleBuildInfo reports how this binary was built — module version, VCS
@@ -496,7 +554,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if selCfg.TraceLabel == "" {
 		selCfg.TraceLabel = req.Name
 	}
-	ad := core.NewAdaptive(csr, tol, s.cfg.Preds, selCfg, !s.cfg.SerialKernels)
+	ad := core.NewAdaptive(csr, tol, s.Predictors(), selCfg, !s.cfg.SerialKernels)
 	rows, cols := csr.Dims()
 	h := &Handle{
 		Name:        req.Name,
