@@ -115,6 +115,12 @@ func measure(minTime time.Duration, f func()) (nsPerOp float64, iters int) {
 }
 
 func main() {
+	// The replay subcommand has its own flag set; dispatch before the
+	// kernel-benchmark flags are even declared.
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		replayMain(os.Args[2:])
+		return
+	}
 	out := flag.String("out", "BENCH_spmv.json", "output JSON path (empty = don't write)")
 	size := flag.Int("size", 20000, "matrix dimension for generated families")
 	degree := flag.Int("degree", 10, "average row degree for generated families")

@@ -138,6 +138,7 @@ func main() {
 			ErrThreshold: *retrainErr,
 			SaveDir:      *retrainDir,
 			Logger:       logger,
+			Tracer:       srv.Tracer(),
 		})
 		if err != nil {
 			logger.Error("building retrain loop failed", "error", err)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -113,4 +114,22 @@ type DrainResponse struct {
 	Promoted int      `json:"promoted"`
 	Moved    int      `json:"moved"`
 	Lost     []string `json:"lost,omitempty"`
+}
+
+// TraceTreeResponse is the router's GET /v1/trace/{id} body: the assembled
+// cross-process span tree — router spans plus every shard's local spans,
+// fetched on demand and joined by parent span ID.
+type TraceTreeResponse struct {
+	Trace string `json:"trace"`
+	// Spans counts all spans in the tree; Shards lists the shards that
+	// contributed at least one.
+	Spans  int             `json:"spans"`
+	Shards []string        `json:"shards,omitempty"`
+	Tree   []*obs.SpanNode `json:"tree"`
+}
+
+// SlowResponse is the router's GET /debug/slow body: the slowest routed
+// requests, slowest first.
+type SlowResponse struct {
+	Slowest []obs.SlowTrace `json:"slowest"`
 }

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -166,6 +167,13 @@ func (c *ShardClient) do(ctx context.Context, method, path string, in, out any) 
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Propagate the trace context: the shard opens its request span under
+	// whatever span the router put in ctx (the rpc.* span), so the
+	// assembled tree reads router → rpc → shard without either side
+	// knowing about the other's store.
+	if sc, ok := obs.SpanFromContext(ctx); ok {
+		req.Header.Set(obs.TraceHeader, sc.Header())
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -224,6 +232,14 @@ func (c *ShardClient) SpMV(ctx context.Context, id string, req server.SpMVReques
 func (c *ShardClient) Solve(ctx context.Context, id string, req server.SolveRequest) (server.SolveResponse, error) {
 	var resp server.SolveResponse
 	err := c.do(ctx, http.MethodPost, "/v1/matrices/"+url.PathEscape(id)+"/solve", req, &resp)
+	return resp, err
+}
+
+// Spans fetches the shard's local spans for one trace ID (empty list when
+// the shard never saw the trace).
+func (c *ShardClient) Spans(ctx context.Context, trace string) (server.SpansResponse, error) {
+	var resp server.SpansResponse
+	err := c.do(ctx, http.MethodGet, "/v1/spans/"+url.PathEscape(trace), nil, &resp)
 	return resp, err
 }
 

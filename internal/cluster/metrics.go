@@ -129,13 +129,28 @@ func (m *Metrics) Families(shards []*ShardClient, extra ...obs.Family) []obs.Fam
 		Help: "Failed shard round trips, labeled by shard.",
 		Kind: obs.KindCounter,
 	}
+	// Cluster-wide rollup: the per-shard round-trip histograms folded into
+	// one series with HistSnapshot.Merge, so a single family answers "what
+	// does a shard round trip cost across the whole cluster" without
+	// cross-label aggregation at query time. Merge treats the zero snapshot
+	// as its identity, so the fold is well-defined (and commutative) from
+	// an empty accumulator.
+	var rollup obs.HistSnapshot
 	for _, n := range names {
 		label := []obs.Label{{Key: "shard", Value: n}}
-		lat.Samples = append(lat.Samples, obs.Sample{Labels: label, Hist: m.shardSeconds[n].Snapshot()})
+		snap := m.shardSeconds[n].Snapshot()
+		lat.Samples = append(lat.Samples, obs.Sample{Labels: label, Hist: snap})
 		errs.Samples = append(errs.Samples, obs.Sample{Labels: label, Value: float64(m.shardErrors[n].Load())})
+		rollup.Merge(snap)
 	}
 	m.mu.Unlock()
 	fams = append(fams, lat, errs)
+	fams = append(fams, obs.Family{
+		Name:    "ocsrouter_cluster_shard_request_seconds",
+		Help:    "Latency of shard round trips merged across all shards (cluster-wide rollup).",
+		Kind:    obs.KindHistogram,
+		Samples: []obs.Sample{{Hist: rollup}},
+	})
 	fams = append(fams, extra...)
 	return fams
 }

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,6 +49,26 @@ type Config struct {
 	MaxBodyBytes int64
 	// Logger receives structured logs; nil uses slog.Default().
 	Logger *slog.Logger
+	// SLOs are the router-level latency/error objectives the burn-rate
+	// gauges (ocsrouter_slo_burn_rate) and slow-request logging are computed
+	// against; nil uses DefaultSLOs(). Router targets are looser than shard
+	// targets — they include the shard round trips.
+	SLOs []obs.Objective
+	// SlowTraceCount sizes the /debug/slow ring (default 32).
+	SlowTraceCount int
+	// TraceCapacity bounds how many recent traces the router's span store
+	// retains (default obs.DefaultTraceCapacity).
+	TraceCapacity int
+}
+
+// DefaultSLOs are the router-level objectives applied when Config.SLOs is
+// nil. They budget the shard round trips on top of the shard-side targets.
+func DefaultSLOs() []obs.Objective {
+	return []obs.Objective{
+		{Endpoint: "register", LatencyTarget: 5, Target: 0.99},
+		{Endpoint: "spmv", LatencyTarget: 0.5, Target: 0.99},
+		{Endpoint: "solve", LatencyTarget: 10, Target: 0.95},
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +141,11 @@ type Router struct {
 	log     *slog.Logger
 	metrics *Metrics
 	mux     *http.ServeMux
+	// tracer stores the router-side spans (request envelope + per-shard RPC
+	// spans); slo scores request outcomes; slow keeps the slowest traces.
+	tracer *obs.Tracer
+	slo    *obs.SLOTracker
+	slow   *obs.SlowTraces
 
 	mu     sync.Mutex
 	ring   *Ring
@@ -143,11 +169,18 @@ func New(cfg Config) (*Router, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	slos := cfg.SLOs
+	if slos == nil {
+		slos = DefaultSLOs()
+	}
 	r := &Router{
 		cfg:     cfg,
 		log:     logger,
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		tracer:  obs.NewTracer("ocsrouter", cfg.TraceCapacity),
+		slo:     obs.NewSLOTracker(slos, nil, nil),
+		slow:    obs.NewSlowTraces(cfg.SlowTraceCount),
 		ring:    NewRing(cfg.VNodes),
 		shards:  make(map[string]*ShardClient),
 		routes:  make(map[string]*route),
@@ -167,14 +200,16 @@ func New(cfg Config) (*Router, error) {
 	r.mux.HandleFunc("GET /healthz", r.handleHealthz)
 	r.mux.HandleFunc("GET /metrics", r.handleMetrics)
 	r.mux.HandleFunc("GET /admin/shards", r.handleShards)
-	r.mux.Handle("POST /admin/shards", r.track(r.handleAddShard))
-	r.mux.Handle("POST /admin/drain", r.track(r.handleDrain))
-	r.mux.Handle("POST /v1/matrices", r.track(r.handleRegister))
-	r.mux.Handle("GET /v1/matrices", r.track(r.handleList))
-	r.mux.Handle("GET /v1/matrices/{id}", r.track(r.handleGet))
-	r.mux.Handle("DELETE /v1/matrices/{id}", r.track(r.handleDelete))
-	r.mux.Handle("POST /v1/matrices/{id}/spmv", r.track(r.handleSpMV))
-	r.mux.Handle("POST /v1/matrices/{id}/solve", r.track(r.handleSolve))
+	r.mux.HandleFunc("GET /debug/slow", r.handleSlow)
+	r.mux.HandleFunc("GET /v1/trace/{id}", r.handleTraceTree)
+	r.mux.Handle("POST /admin/shards", r.track("add_shard", r.handleAddShard))
+	r.mux.Handle("POST /admin/drain", r.track("drain", r.handleDrain))
+	r.mux.Handle("POST /v1/matrices", r.track("register", r.handleRegister))
+	r.mux.Handle("GET /v1/matrices", r.track("list", r.handleList))
+	r.mux.Handle("GET /v1/matrices/{id}", r.track("get", r.handleGet))
+	r.mux.Handle("DELETE /v1/matrices/{id}", r.track("delete", r.handleDelete))
+	r.mux.Handle("POST /v1/matrices/{id}/spmv", r.track("spmv", r.handleSpMV))
+	r.mux.Handle("POST /v1/matrices/{id}/solve", r.track("solve", r.handleSolve))
 
 	r.wg.Add(1)
 	go r.healthLoop()
@@ -261,11 +296,67 @@ func (r *Router) successorClients(key string, n int) []*ShardClient {
 
 // ---- plumbing (mirrors the ocsd server's conventions) ----
 
-func (r *Router) track(h http.HandlerFunc) http.Handler {
+// traceWriter decorates the response writer with the request-scoped logger
+// (carrying trace_id) and the final status code, mirroring the ocsd server.
+type traceWriter struct {
+	http.ResponseWriter
+	status int
+	log    *slog.Logger
+}
+
+func (tw *traceWriter) WriteHeader(code int) {
+	if tw.status == 0 {
+		tw.status = code
+	}
+	tw.ResponseWriter.WriteHeader(code)
+}
+
+func (tw *traceWriter) Write(b []byte) (int, error) {
+	if tw.status == 0 {
+		tw.status = http.StatusOK
+	}
+	return tw.ResponseWriter.Write(b)
+}
+
+// reqLog returns the request-scoped logger when w was wrapped by track, the
+// base logger otherwise.
+func (r *Router) reqLog(w http.ResponseWriter) *slog.Logger {
+	if tw, ok := w.(*traceWriter); ok {
+		return tw.log
+	}
+	return r.log
+}
+
+// track wraps a /v1 handler with the observability envelope: a router span
+// is opened (joining the caller's OCS-Trace context when present), the
+// context is echoed back and threaded through the request context — every
+// shard round trip under it emits an rpc.* child span and propagates the
+// trace to the shard — and the outcome is scored against the endpoint SLO.
+func (r *Router) track(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		r.metrics.RequestsTotal.Add(1)
-		req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBodyBytes)
-		h(w, req)
+		parent, _ := obs.ParseTraceHeader(req.Header.Get(obs.TraceHeader))
+		sp := r.tracer.StartSpan("ocsrouter."+endpoint, parent)
+		sp.SetAttr("path", req.URL.Path)
+		sc := sp.Context()
+		w.Header().Set(obs.TraceHeader, sc.Header())
+		tw := &traceWriter{ResponseWriter: w, log: r.log.With("trace_id", sc.Trace.String())}
+		req = req.WithContext(obs.ContextWithSpan(req.Context(), sc))
+		req.Body = http.MaxBytesReader(tw, req.Body, r.cfg.MaxBodyBytes)
+		h(tw, req)
+		if tw.status == 0 {
+			tw.status = http.StatusOK
+		}
+		sp.SetAttr("status", strconv.Itoa(tw.status))
+		secs := sp.End()
+		failed := tw.status >= 500
+		r.slo.Record(endpoint, secs, failed)
+		r.slow.Offer(obs.SlowTrace{Trace: sc.Trace, Endpoint: endpoint, Seconds: secs, Start: sp.StartTime()})
+		if obj, ok := r.slo.Objective(endpoint); ok && (failed || secs > obj.LatencyTarget) {
+			tw.log.Warn("request breached SLO",
+				"endpoint", endpoint, "status", tw.status,
+				"seconds", secs, "target_seconds", obj.LatencyTarget)
+		}
 	})
 }
 
@@ -279,7 +370,7 @@ func (r *Router) fail(w http.ResponseWriter, code int, format string, args ...an
 	r.metrics.RequestErrors.Add(1)
 	msg := fmt.Sprintf(format, args...)
 	if code >= 500 {
-		r.log.Warn("request failed", "status", code, "error", msg)
+		r.reqLog(w).Warn("request failed", "status", code, "error", msg)
 	}
 	r.writeJSON(w, code, map[string]string{"error": msg})
 }
@@ -319,11 +410,27 @@ func (r *Router) lookup(w http.ResponseWriter, req *http.Request) (*route, bool)
 }
 
 // callShard runs one shard round trip with latency/error accounting and
-// health bookkeeping.
-func callShard[T any](r *Router, sc *ShardClient, f func() (T, error)) (T, error) {
+// health bookkeeping. When ctx carries a trace, an "rpc.<op>" child span
+// wraps the round trip and its context replaces the request span's in the
+// ctx handed to f — the ShardClient propagates it via OCS-Trace, so the
+// shard's own request span parents under the RPC span and the assembled
+// tree reads router → rpc → shard.
+func callShard[T any](r *Router, ctx context.Context, op string, sc *ShardClient, f func(context.Context) (T, error)) (T, error) {
+	var sp *obs.ActiveSpan
+	if parent, ok := obs.SpanFromContext(ctx); ok {
+		sp = r.tracer.StartSpan("rpc."+op, parent)
+		sp.SetAttr("shard", sc.Name())
+		ctx = obs.ContextWithSpan(ctx, sp.Context())
+	}
 	start := time.Now()
-	v, err := f()
+	v, err := f(ctx)
 	r.metrics.ObserveShard(sc.Name(), time.Since(start).Seconds(), err != nil)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
 	if err != nil {
 		sc.markFailure(transportFailure(err))
 	} else {
@@ -367,10 +474,57 @@ func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	r.mu.Unlock()
 	w.Header().Set("Content-Type", obs.ContentType)
 	w.WriteHeader(http.StatusOK)
-	_ = obs.WriteText(w, r.metrics.Families(shards,
+	extra := []obs.Family{
 		obs.ScalarFamily("ocsrouter_handles", "Global handles currently routed.", obs.KindGauge, float64(handles)),
 		obs.ScalarFamily("ocsrouter_ring_members", "Shards currently on the hash ring.", obs.KindGauge, float64(members)),
-	))
+	}
+	extra = append(extra, r.slo.Families("ocsrouter")...)
+	_ = obs.WriteText(w, r.metrics.Families(shards, extra...))
+}
+
+// handleSlow serves the ring of slowest router requests, slowest first.
+func (r *Router) handleSlow(w http.ResponseWriter, req *http.Request) {
+	r.writeJSON(w, http.StatusOK, SlowResponse{Slowest: r.slow.List()})
+}
+
+// handleTraceTree assembles the cross-process span tree for one trace ID:
+// the router's own spans (request envelope + rpc.* children) merged with
+// every shard's local spans for the trace, fetched on demand. Shards that
+// never saw the trace contribute nothing; unreachable shards are skipped —
+// a partial tree beats a 502 when one shard is down.
+func (r *Router) handleTraceTree(w http.ResponseWriter, req *http.Request) {
+	trace, err := obs.ParseTraceID(req.PathValue("id"))
+	if err != nil {
+		r.fail(w, http.StatusBadRequest, "bad trace id: %v", err)
+		return
+	}
+	spans := r.tracer.Spans(trace)
+	var fetched []string
+	for _, sc := range r.shardList() {
+		if !sc.Healthy() && !sc.Draining() {
+			continue
+		}
+		resp, serr := callShard(r, req.Context(), "spans", sc, func(ctx context.Context) (server.SpansResponse, error) {
+			return sc.Spans(ctx, trace.String())
+		})
+		if serr != nil {
+			continue
+		}
+		if resp.Count > 0 {
+			fetched = append(fetched, sc.Name())
+		}
+		spans = append(spans, resp.Spans...)
+	}
+	if len(spans) == 0 {
+		r.fail(w, http.StatusNotFound, "no spans for trace %s (evicted or never seen)", trace)
+		return
+	}
+	r.writeJSON(w, http.StatusOK, TraceTreeResponse{
+		Trace:  trace.String(),
+		Spans:  len(spans),
+		Shards: fetched,
+		Tree:   obs.BuildTree(spans),
+	})
 }
 
 func (r *Router) shardStatuses() []ShardStatus {
@@ -547,8 +701,8 @@ func (r *Router) registerWhole(w http.ResponseWriter, req *http.Request, id stri
 	var err error
 	for _, cand := range candidates {
 		sc = cand
-		info, err = callShard(r, sc, func() (server.MatrixInfo, error) {
-			return sc.Register(req.Context(), body.RegisterRequest)
+		info, err = callShard(r, req.Context(), "register", sc, func(ctx context.Context) (server.MatrixInfo, error) {
+			return sc.Register(ctx, body.RegisterRequest)
 		})
 		if err == nil {
 			break
@@ -629,8 +783,8 @@ func (r *Router) registerPartitioned(w http.ResponseWriter, req *http.Request, i
 			Tol:          tol,
 		}
 		sc := healthy[i%len(healthy)]
-		info, rerr := callShard(r, sc, func() (server.MatrixInfo, error) {
-			return sc.Register(req.Context(), breq)
+		info, rerr := callShard(r, req.Context(), "register", sc, func(ctx context.Context) (server.MatrixInfo, error) {
+			return sc.Register(ctx, breq)
 		})
 		if rerr != nil {
 			cleanup()
@@ -745,8 +899,9 @@ func (r *Router) handleGet(w http.ResponseWriter, req *http.Request) {
 	}
 	rt.mu.Unlock()
 	for _, ref := range refs {
-		mi, err := callShard(r, ref.shard, func() (server.MatrixInfo, error) {
-			return ref.shard.Get(req.Context(), ref.remoteID)
+		ref := ref
+		mi, err := callShard(r, req.Context(), "get", ref.shard, func(ctx context.Context) (server.MatrixInfo, error) {
+			return ref.shard.Get(ctx, ref.remoteID)
 		})
 		if err != nil {
 			continue // placement stats are best-effort; health marking already done
@@ -780,8 +935,9 @@ func (r *Router) handleDelete(w http.ResponseWriter, req *http.Request) {
 	}
 	rt.mu.Unlock()
 	for _, ref := range refs {
-		_, _ = callShard(r, ref.shard, func() (struct{}, error) {
-			return struct{}{}, ref.shard.Delete(req.Context(), ref.remoteID)
+		ref := ref
+		_, _ = callShard(r, req.Context(), "delete", ref.shard, func(ctx context.Context) (struct{}, error) {
+			return struct{}{}, ref.shard.Delete(ctx, ref.remoteID)
 		})
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -854,14 +1010,18 @@ func (r *Router) handleSpMV(w http.ResponseWriter, req *http.Request) {
 	}
 	r.metrics.SpMVRequests.Add(1)
 	start := time.Now()
-	defer func() { r.metrics.SpMVSeconds.Observe(time.Since(start).Seconds()) }()
+	traceHex := ""
+	if sc, ok := obs.SpanFromContext(req.Context()); ok {
+		traceHex = sc.Trace.String()
+	}
+	defer func() { r.metrics.SpMVSeconds.ObserveExemplar(time.Since(start).Seconds(), traceHex) }()
 
 	if rt.partitioned {
 		if body.RowLo != 0 || body.RowHi != 0 {
 			r.fail(w, http.StatusBadRequest, "row_lo/row_hi are not supported on partitioned handles")
 			return
 		}
-		ys, served, err := r.gather(req.Context(), rt, body.X)
+		ys, served, err := r.gather(req.Context(), rt, body.X, body.Progress)
 		if err != nil {
 			r.failShard(w, err)
 			return
@@ -882,8 +1042,9 @@ func (r *Router) handleSpMV(w http.ResponseWriter, req *http.Request) {
 		if i > 0 {
 			r.metrics.Failovers.Add(1)
 		}
-		resp, err := callShard(r, ref.shard, func() (server.SpMVResponse, error) {
-			return ref.shard.SpMV(req.Context(), ref.remoteID, body)
+		ref := ref
+		resp, err := callShard(r, req.Context(), "spmv", ref.shard, func(ctx context.Context) (server.SpMVResponse, error) {
+			return ref.shard.SpMV(ctx, ref.remoteID, body)
 		})
 		if err != nil {
 			lastErr = err
@@ -911,8 +1072,11 @@ func (r *Router) handleSpMV(w http.ResponseWriter, req *http.Request) {
 // parallel, each shard returns its block of the product, and the router
 // scatters the blocks into full-length output vectors. Every row is summed
 // entirely on one shard, so the gathered vector is bit-identical to a
-// single-process CSR product no matter how the rows were cut.
-func (r *Router) gather(ctx context.Context, rt *route, xs [][]float64) ([][]float64, []string, error) {
+// single-process CSR product no matter how the rows were cut. progress,
+// when non-nil, is forwarded to every block so the shard-side selector
+// pipelines advance (a distributed solve's loop runs router-side; without
+// the forwarded indicator no shard would ever see iteration progress).
+func (r *Router) gather(ctx context.Context, rt *route, xs [][]float64, progress *float64) ([][]float64, []string, error) {
 	rt.mu.Lock()
 	parts := append([]partRef(nil), rt.parts...)
 	rows := rt.rows
@@ -936,8 +1100,8 @@ func (r *Router) gather(ctx context.Context, rt *route, xs [][]float64) ([][]flo
 			// blocks have a single placement, so there is no replica to
 			// fail over to (whole-handle replicas cover that case).
 			for attempt := 0; attempt < 2; attempt++ {
-				resp, err = callShard(r, p.shard, func() (server.SpMVResponse, error) {
-					return p.shard.SpMV(ctx, p.remoteID, server.SpMVRequest{X: xs})
+				resp, err = callShard(r, ctx, "spmv", p.shard, func(ctx context.Context) (server.SpMVResponse, error) {
+					return p.shard.SpMV(ctx, p.remoteID, server.SpMVRequest{X: xs, Progress: progress})
 				})
 				if err == nil || !Retryable(err) {
 					break
@@ -1031,7 +1195,7 @@ func (r *Router) replicate(rt *route) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.RequestTimeout)
 	defer cancel()
-	exp, err := callShard(r, source.shard, func() (server.ExportResponse, error) {
+	exp, err := callShard(r, ctx, "export", source.shard, func(ctx context.Context) (server.ExportResponse, error) {
 		return source.shard.Export(ctx, source.remoteID)
 	})
 	if err != nil {
@@ -1039,7 +1203,7 @@ func (r *Router) replicate(rt *route) {
 		done(false)
 		return
 	}
-	info, err := callShard(r, target, func() (server.MatrixInfo, error) {
+	info, err := callShard(r, ctx, "register", target, func(ctx context.Context) (server.MatrixInfo, error) {
 		return target.Register(ctx, server.RegisterRequest{
 			Name:         exp.Name,
 			MatrixMarket: exp.MatrixMarket,
@@ -1073,7 +1237,11 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 	}
 	r.metrics.SolveRequests.Add(1)
 	start := time.Now()
-	defer func() { r.metrics.SolveSeconds.Observe(time.Since(start).Seconds()) }()
+	traceHex := ""
+	if sc, ok := obs.SpanFromContext(req.Context()); ok {
+		traceHex = sc.Trace.String()
+	}
+	defer func() { r.metrics.SolveSeconds.ObserveExemplar(time.Since(start).Seconds(), traceHex) }()
 
 	if rt.partitioned {
 		r.distSolve(w, req, rt, body)
@@ -1085,8 +1253,9 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 		if i > 0 {
 			r.metrics.Failovers.Add(1)
 		}
-		resp, err := callShard(r, ref.shard, func() (server.SolveResponse, error) {
-			return ref.shard.Solve(req.Context(), ref.remoteID, body)
+		ref := ref
+		resp, err := callShard(r, req.Context(), "solve", ref.shard, func(ctx context.Context) (server.SolveResponse, error) {
+			return ref.shard.Solve(ctx, ref.remoteID, body)
 		})
 		if err != nil {
 			lastErr = err
@@ -1111,17 +1280,20 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 type distPanic struct{ err error }
 
 // distOp adapts the partitioned route into the apps.Operator contract: each
-// SpMV is one fan-out/gather round trip across the blocks.
+// SpMV is one fan-out/gather round trip across the blocks. progress carries
+// the solve loop's latest progress indicator (set by the solver hook, read
+// by the next fan-out) so the shard-side selectors see iteration progress.
 type distOp struct {
-	r   *Router
-	rt  *route
-	ctx context.Context
+	r        *Router
+	rt       *route
+	ctx      context.Context
+	progress *float64
 }
 
-func (d distOp) Dims() (int, int) { return d.rt.rows, d.rt.cols }
+func (d *distOp) Dims() (int, int) { return d.rt.rows, d.rt.cols }
 
-func (d distOp) SpMV(y, x []float64) {
-	ys, _, err := d.r.gather(d.ctx, d.rt, [][]float64{x})
+func (d *distOp) SpMV(y, x []float64) {
+	ys, _, err := d.r.gather(d.ctx, d.rt, [][]float64{x}, d.progress)
 	if err != nil {
 		panic(distPanic{err})
 	}
@@ -1166,8 +1338,14 @@ func (r *Router) distSolve(w http.ResponseWriter, req *http.Request, rt *route, 
 			return
 		}
 	}
-	op := distOp{r: r, rt: rt, ctx: ctx}
-	hook := func(int, float64) {}
+	op := &distOp{r: r, rt: rt, ctx: ctx}
+	// The hook runs on the solver goroutine between iterations — the same
+	// goroutine that calls op.SpMV — so the next fan-out forwards the value
+	// without synchronization.
+	hook := func(_ int, v float64) {
+		vv := v
+		op.progress = &vv
+	}
 
 	var (
 		res   apps.Result
@@ -1277,8 +1455,9 @@ func (r *Router) aggregateSelector(ctx context.Context, parts []partRef) (server
 	served := make([]string, 0, len(parts))
 	seen := map[string]bool{}
 	for _, p := range parts {
+		p := p
 		served = append(served, p.shard.Name())
-		mi, err := callShard(r, p.shard, func() (server.MatrixInfo, error) {
+		mi, err := callShard(r, ctx, "get", p.shard, func(ctx context.Context) (server.MatrixInfo, error) {
 			return p.shard.Get(ctx, p.remoteID)
 		})
 		if err != nil {
@@ -1427,7 +1606,7 @@ func removeRef(refs []shardRef, drop shardRef) []shardRef {
 // moveWhole exports a handle from its (possibly still reachable) old
 // primary and registers it on the ring's new owner for the route.
 func (r *Router) moveWhole(ctx context.Context, rt *route, from shardRef) bool {
-	exp, err := callShard(r, from.shard, func() (server.ExportResponse, error) {
+	exp, err := callShard(r, ctx, "export", from.shard, func(ctx context.Context) (server.ExportResponse, error) {
 		return from.shard.Export(ctx, from.remoteID)
 	})
 	if err != nil {
@@ -1438,7 +1617,8 @@ func (r *Router) moveWhole(ctx context.Context, rt *route, from shardRef) bool {
 		if target == from.shard || !target.Healthy() {
 			continue
 		}
-		info, rerr := callShard(r, target, func() (server.MatrixInfo, error) {
+		target := target
+		info, rerr := callShard(r, ctx, "register", target, func(ctx context.Context) (server.MatrixInfo, error) {
 			return target.Register(ctx, server.RegisterRequest{
 				Name: exp.Name, MatrixMarket: exp.MatrixMarket, Tol: exp.Tol, Dangling: exp.Dangling,
 			})
@@ -1459,7 +1639,7 @@ func (r *Router) movePart(ctx context.Context, rt *route, pi int, from *ShardCli
 	rt.mu.Lock()
 	p := rt.parts[pi]
 	rt.mu.Unlock()
-	exp, err := callShard(r, from, func() (server.ExportResponse, error) {
+	exp, err := callShard(r, ctx, "export", from, func(ctx context.Context) (server.ExportResponse, error) {
 		return from.Export(ctx, p.remoteID)
 	})
 	if err != nil {
@@ -1470,7 +1650,8 @@ func (r *Router) movePart(ctx context.Context, rt *route, pi int, from *ShardCli
 		if target == from || !target.Healthy() {
 			continue
 		}
-		info, rerr := callShard(r, target, func() (server.MatrixInfo, error) {
+		target := target
+		info, rerr := callShard(r, ctx, "register", target, func(ctx context.Context) (server.MatrixInfo, error) {
 			return target.Register(ctx, server.RegisterRequest{
 				Name: exp.Name, MatrixMarket: exp.MatrixMarket, Tol: exp.Tol,
 			})

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"strconv"
+	"time"
+
 	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/sparse"
@@ -95,6 +98,22 @@ type Adaptive struct {
 	// nil otherwise. Only the solver goroutine touches this field; the
 	// background goroutine communicates through the job's done channel.
 	pending *stage2Job
+
+	// spanParent is the request-scoped parent for the spans the pipeline
+	// emits (SetSpanParent); the zero value means "no active trace" and
+	// suppresses emission. spanNotes buffers per-stage timings until the
+	// decision trace is journaled, when they flush to Config.SpanSink
+	// tagged with the decision ID.
+	spanParent obs.SpanContext
+	spanNotes  []spanNote
+}
+
+// spanNote is one buffered stage timing awaiting flush to the span sink.
+type spanNote struct {
+	name  string
+	start time.Time
+	secs  float64
+	attrs [][2]string
 }
 
 // NewAdaptive wraps a matrix in its default CSR format. tol is the
@@ -220,6 +239,7 @@ func (ad *Adaptive) runStage1() (tr obs.DecisionTrace, remaining int, ok bool) {
 	ad.stats.PredictSeconds += stage1
 	ad.stats.PaidSeconds += stage1
 	ad.stats.Stage1Ran = true
+	ad.noteSpan("selector.stage1", start, stage1, [2]string{"mode", "paid"})
 	tr = obs.DecisionTrace{
 		Label:      ad.cfg.TraceLabel,
 		At:         start,
@@ -271,6 +291,8 @@ func (ad *Adaptive) runStage1() (tr obs.DecisionTrace, remaining int, ok bool) {
 		stage0 := timing.Since(ad.clock, start).Seconds()
 		ad.stats.PredictSeconds += stage0
 		ad.stats.PaidSeconds += stage0
+		ad.noteSpan("selector.stage0", start, stage0,
+			[2]string{"mode", "paid"}, [2]string{"obvious_stay", strconv.FormatBool(stay)})
 		if stay {
 			ad.stats.Stage0Skip = true
 			tr.Stage0Skip = true
@@ -289,10 +311,14 @@ func (ad *Adaptive) runStage2Inline(tr *obs.DecisionTrace, remaining int) {
 	fs := features.Extract(ad.csr)
 	bsrBlocks := features.CountBlocks(ad.csr, ad.cfg.Lim.BSRBlockSize)
 	ad.stats.FeatureSeconds = timing.Since(ad.clock, start).Seconds()
+	ad.noteSpan("selector.features", start, ad.stats.FeatureSeconds, [2]string{"mode", "paid"})
 
 	start = ad.clock.Now()
 	d := ad.preds.Decide(fs, bsrBlocks, float64(remaining), ad.cfg.Lim, ad.cfg.Margin)
-	ad.stats.PredictSeconds += timing.Since(ad.clock, start).Seconds()
+	decide := timing.Since(ad.clock, start).Seconds()
+	ad.stats.PredictSeconds += decide
+	ad.noteSpan("selector.decide", start, decide,
+		[2]string{"mode", "paid"}, [2]string{"format", d.Format.String()})
 	var fvec []float64
 	if ad.cfg.Journal != nil {
 		fvec = fs.Vector()
@@ -308,6 +334,8 @@ func (ad *Adaptive) runStage2Inline(tr *obs.DecisionTrace, remaining int) {
 	m, err := sparse.ConvertFromCSR(ad.csr, d.Format, ad.cfg.Lim)
 	ad.stats.ConvertSeconds = timing.Since(ad.clock, start).Seconds()
 	ad.stats.PaidSeconds = ad.OverheadSeconds()
+	ad.noteSpan("selector.convert", start, ad.stats.ConvertSeconds,
+		[2]string{"mode", "paid"}, [2]string{"format", d.Format.String()})
 	if err != nil {
 		// The validity pre-check should prevent this; fall back to CSR.
 		tr.ConvertErr = err.Error()
@@ -350,16 +378,71 @@ func (ad *Adaptive) recordStage2(tr *obs.DecisionTrace, d Decision, remaining in
 	}
 }
 
-// journalTrace appends the finished trace to the journal and arms the
+// journalTrace appends the finished trace to the journal, arms the
 // post-decision SpMV timing that maintains its T_affected ledger (only
-// traces whose stage 2 ran get one).
+// traces whose stage 2 ran get one), and flushes the buffered stage spans
+// to the span sink now that the decision ID they reference exists.
 func (ad *Adaptive) journalTrace(tr obs.DecisionTrace) {
-	if ad.cfg.Journal == nil {
+	if ad.cfg.Journal != nil {
+		ad.traceID = ad.cfg.Journal.Append(tr)
+		ad.ledger = tr.Stage2Ran
+	}
+	ad.flushSpans(tr)
+}
+
+// noteSpan buffers one stage timing for flushSpans. A nil sink makes it
+// free, so the pipeline calls it unconditionally.
+func (ad *Adaptive) noteSpan(name string, start time.Time, secs float64, attrs ...[2]string) {
+	if ad.cfg.SpanSink == nil {
 		return
 	}
-	ad.traceID = ad.cfg.Journal.Append(tr)
-	ad.ledger = tr.Stage2Ran
+	ad.spanNotes = append(ad.spanNotes, spanNote{name: name, start: start, secs: secs, attrs: attrs})
 }
+
+// flushSpans emits the buffered stage notes as spans under the current
+// request parent. The conversion span additionally carries the trace's
+// final paid/hidden overhead split, so its attributes agree with the
+// ledger seeded by finishTrace.
+func (ad *Adaptive) flushSpans(tr obs.DecisionTrace) {
+	notes := ad.spanNotes
+	ad.spanNotes = nil
+	sink := ad.cfg.SpanSink
+	if sink == nil || len(notes) == 0 || ad.spanParent.Trace.IsZero() {
+		return
+	}
+	fmtFloat := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, n := range notes {
+		sp := obs.Span{
+			Trace:   ad.spanParent.Trace,
+			ID:      obs.NewSpanID(),
+			Parent:  ad.spanParent.Span,
+			Name:    n.name,
+			Service: "selector",
+			Start:   n.start,
+			Seconds: n.secs,
+			Attrs:   make(map[string]string, len(n.attrs)+4),
+		}
+		if ad.traceID != 0 {
+			sp.Attrs["decision_id"] = strconv.FormatUint(ad.traceID, 10)
+		}
+		if tr.Label != "" {
+			sp.Attrs["label"] = tr.Label
+		}
+		for _, kv := range n.attrs {
+			sp.Attrs[kv[0]] = kv[1]
+		}
+		if n.name == "selector.convert" {
+			sp.Attrs["paid_seconds"] = fmtFloat(tr.PaidSeconds)
+			sp.Attrs["hidden_seconds"] = fmtFloat(tr.HiddenSeconds)
+		}
+		sink(sp)
+	}
+}
+
+// SetSpanParent installs the request-scoped span context under which the
+// pipeline's stage spans are emitted; the zero value clears it. Like every
+// Adaptive method this runs on the solver goroutine.
+func (ad *Adaptive) SetSpanParent(sc obs.SpanContext) { ad.spanParent = sc }
 
 // finishTrace fills the trace's measured-overhead fields and seeds the
 // ledger with the model-side quantities the payoff will be judged against.

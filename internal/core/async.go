@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/features"
 	"repro/internal/obs"
@@ -41,6 +42,11 @@ type stage2Job struct {
 	convert    float64
 	fvec       []float64 // Table I vector for the journal, when one is kept
 	gen        int64     // generation of the bundle captured at launch
+	// Phase start timestamps, so the spans emitted at adoption reflect
+	// when the hidden work actually ran.
+	featureAt time.Time
+	predictAt time.Time
+	convertAt time.Time
 }
 
 // launchStage2 dispatches stage 2 to a background worker and returns
@@ -74,6 +80,7 @@ func (j *stage2Job) run(csr *sparse.CSR, preds *Predictors, cfg Config, clock ti
 		return
 	}
 	start := clock.Now()
+	j.featureAt = start
 	fs := features.Extract(csr)
 	bsrBlocks := features.CountBlocks(csr, cfg.Lim.BSRBlockSize)
 	j.feature = timing.Since(clock, start).Seconds()
@@ -81,6 +88,7 @@ func (j *stage2Job) run(csr *sparse.CSR, preds *Predictors, cfg Config, clock ti
 		return
 	}
 	start = clock.Now()
+	j.predictAt = start
 	d := preds.DecideOverlap(fs, bsrBlocks, float64(j.remaining), float64(j.remaining), cfg.Lim, cfg.Margin)
 	j.predict = timing.Since(clock, start).Seconds()
 	j.d = d
@@ -93,6 +101,7 @@ func (j *stage2Job) run(csr *sparse.CSR, preds *Predictors, cfg Config, clock ti
 		return
 	}
 	start = clock.Now()
+	j.convertAt = start
 	m, err := sparse.ConvertFromCSR(csr, d.Format, cfg.Lim)
 	j.convert = timing.Since(clock, start).Seconds()
 	if err != nil {
@@ -175,6 +184,19 @@ func (ad *Adaptive) adopt(j *stage2Job) {
 	ad.stats.PredictSeconds += j.predict
 	ad.stats.ConvertSeconds = j.convert
 	ad.stats.HiddenSeconds += j.feature + j.predict + j.convert
+	// Hidden-mode stage spans: the work ran overlapped on a background
+	// worker, and its spans surface in the trace at adoption time.
+	if !j.featureAt.IsZero() {
+		ad.noteSpan("selector.features", j.featureAt, j.feature, [2]string{"mode", "hidden"})
+	}
+	if !j.predictAt.IsZero() {
+		ad.noteSpan("selector.decide", j.predictAt, j.predict,
+			[2]string{"mode", "hidden"}, [2]string{"format", j.d.Format.String()})
+	}
+	if !j.convertAt.IsZero() {
+		ad.noteSpan("selector.convert", j.convertAt, j.convert,
+			[2]string{"mode", "hidden"}, [2]string{"format", j.d.Format.String()})
+	}
 	if !j.decided {
 		// The job was canceled mid-flight before reaching the decision;
 		// Close normally discards the pending pointer, so adoption should

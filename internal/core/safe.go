@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sparse"
 )
 
@@ -100,6 +101,16 @@ func (s *SafeAdaptive) Format() sparse.Format {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ad.Format()
+}
+
+// SetSpanParent installs the request-scoped span context the selector's
+// stage spans are emitted under, under the handle lock. Request handlers
+// set it at admission so pipeline work triggered by their traffic is
+// attributed to their trace.
+func (s *SafeAdaptive) SetSpanParent(sc obs.SpanContext) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ad.SetSpanParent(sc)
 }
 
 // SetPredictors hot-swaps the stage-2 model bundle under the handle lock.

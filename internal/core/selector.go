@@ -98,6 +98,14 @@ type Config struct {
 	// TraceLabel tags this wrapper's traces in the journal (e.g. the
 	// server's matrix handle name).
 	TraceLabel string
+	// SpanSink, when non-nil, receives one completed obs.Span per selector
+	// stage boundary — stage-1 tripcount prediction, stage-0 classify,
+	// stage-2 feature extraction, decide, and conversion — parented under
+	// the request span installed via Adaptive.SetSpanParent. The conversion
+	// span carries the paid/hidden overhead split and the decision trace ID,
+	// tying the distributed trace tree back to the journal's T_affected
+	// ledger. nil (the default) disables span emission.
+	SpanSink func(obs.Span)
 }
 
 // DefaultConfig mirrors the paper's empirical settings plus a 10% decision

@@ -1,0 +1,18 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key for the request's span context.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying sc, the parent for any child
+// span (or cross-process propagation) the request performs downstream.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext extracts the span context placed by ContextWithSpan.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok && !sc.Trace.IsZero()
+}

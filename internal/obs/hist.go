@@ -54,6 +54,15 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow bucket
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, updated by CAS
+	// exemplars holds at most one exemplar per bucket (last write wins).
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one concrete observation to the trace that produced it, so
+// a histogram bucket in the exposition points at a debuggable request.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // NewHistogram builds a histogram over the given ascending upper bounds.
@@ -64,8 +73,9 @@ func NewHistogram(bounds []float64) *Histogram {
 	}
 	b := append([]float64(nil), bounds...)
 	return &Histogram{
-		bounds: b,
-		counts: make([]atomic.Uint64, len(b)+1),
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
 	}
 }
 
@@ -79,16 +89,7 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) || v < 0 {
 		return
 	}
-	// Find the first bound >= v. The bucket count is small (≤ ~30) and the
-	// loop is branch-predictable, so a linear scan beats binary search here.
-	idx := len(h.bounds)
-	for i, b := range h.bounds {
-		if v <= b {
-			idx = i
-			break
-		}
-	}
-	h.counts[idx].Add(1)
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -97,6 +98,32 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// bucketIndex finds the first bound >= v. The bucket count is small
+// (≤ ~30) and the loop is branch-predictable, so a linear scan beats
+// binary search here.
+func (h *Histogram) bucketIndex(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// ObserveExemplar records the value like Observe and additionally pins an
+// exemplar (value + trace ID) on the bucket it landed in, last write wins.
+// An empty trace ID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[h.bucketIndex(v)].Store(&Exemplar{Value: v, TraceID: traceID})
 }
 
 // HistSnapshot is a point-in-time copy of a histogram: per-bucket counts
@@ -113,6 +140,9 @@ type HistSnapshot struct {
 	Count uint64 `json:"count"`
 	// Sum is the sum of all observed values.
 	Sum float64 `json:"sum"`
+	// Exemplars, when non-nil, parallels Counts: at most one exemplar per
+	// bucket (nil entries for buckets without one).
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot copies the histogram's current state without blocking observers.
@@ -129,6 +159,14 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]*Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = e
+		}
+	}
 	return s
 }
 
@@ -140,11 +178,35 @@ func (s HistSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// IsZero reports whether the snapshot is the empty zero value (no layout,
+// no observations) — the identity element of Merge.
+func (s HistSnapshot) IsZero() bool {
+	return len(s.Bounds) == 0 && len(s.Counts) == 0 && s.Count == 0 && s.Sum == 0
+}
+
 // Merge adds another snapshot's observations into s. Both snapshots must
-// share the same bucket layout; mismatched layouts return false and leave s
-// unchanged. Merging snapshots (rather than live histograms) is what makes
-// per-shard histograms aggregable without any cross-shard locking.
+// share the same bucket layout — including the implicit +Inf overflow
+// bucket, so the merged +Inf count stays equal to the merged total count;
+// mismatched layouts return false and leave s unchanged. The zero-value
+// snapshot is the identity: merging into it adopts the other's layout,
+// which makes folding per-shard snapshots from an empty accumulator
+// order-independent. Merging snapshots (rather than live histograms) is
+// what makes per-shard histograms aggregable without any cross-shard
+// locking.
 func (s *HistSnapshot) Merge(o HistSnapshot) bool {
+	if o.IsZero() {
+		return true
+	}
+	if s.IsZero() {
+		s.Bounds = append([]float64(nil), o.Bounds...)
+		s.Counts = append([]uint64(nil), o.Counts...)
+		s.Count = o.Count
+		s.Sum = o.Sum
+		if o.Exemplars != nil {
+			s.Exemplars = append([]*Exemplar(nil), o.Exemplars...)
+		}
+		return true
+	}
 	if len(s.Bounds) != len(o.Bounds) || len(s.Counts) != len(o.Counts) {
 		return false
 	}
@@ -158,6 +220,17 @@ func (s *HistSnapshot) Merge(o HistSnapshot) bool {
 	}
 	s.Count += o.Count
 	s.Sum += o.Sum
+	for i, e := range o.Exemplars {
+		if e == nil {
+			continue
+		}
+		if s.Exemplars == nil {
+			s.Exemplars = make([]*Exemplar, len(s.Counts))
+		}
+		if i < len(s.Exemplars) && s.Exemplars[i] == nil {
+			s.Exemplars[i] = e
+		}
+	}
 	return true
 }
 

@@ -169,3 +169,81 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Errorf("sum = %g, want %g (rel err %g)", s.Sum, want, diff)
 	}
 }
+
+// TestSnapshotMergeCommutative pins the algebra the router's cluster-wide
+// rollup depends on: folding per-shard snapshots from a zero accumulator
+// must give the same result in any order, the zero value must act as the
+// identity on both sides, and the implicit +Inf overflow bucket must stay
+// consistent (sum of Counts == Count) through every fold.
+func TestSnapshotMergeCommutative(t *testing.T) {
+	mk := func(vals ...float64) HistSnapshot {
+		h := NewHistogram([]float64{0.01, 0.1, 1})
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h.Snapshot()
+	}
+	shards := []HistSnapshot{
+		mk(0.005, 0.05),
+		mk(0.5, 2, 100), // 100 lands in the +Inf overflow bucket
+		mk(),            // a shard with no traffic yet
+		mk(0.02),
+	}
+	fold := func(order []int) HistSnapshot {
+		var acc HistSnapshot
+		for _, i := range order {
+			if !acc.Merge(shards[i]) {
+				t.Fatalf("fold refused snapshot %d", i)
+			}
+		}
+		return acc
+	}
+	a := fold([]int{0, 1, 2, 3})
+	b := fold([]int{3, 2, 1, 0})
+	c := fold([]int{2, 0, 3, 1})
+	for name, s := range map[string]HistSnapshot{"forward": a, "reverse": b, "mixed": c} {
+		if s.Count != a.Count || s.Sum != a.Sum {
+			t.Errorf("%s fold: count %d sum %g, want %d / %g", name, s.Count, s.Sum, a.Count, a.Sum)
+		}
+		var bucketTotal uint64
+		for _, cnt := range s.Counts {
+			bucketTotal += cnt
+		}
+		if bucketTotal != s.Count {
+			t.Errorf("%s fold: bucket total %d != count %d (+Inf bucket inconsistent)", name, bucketTotal, s.Count)
+		}
+		for i := range a.Counts {
+			if s.Counts[i] != a.Counts[i] {
+				t.Errorf("%s fold: bucket %d = %d, want %d", name, i, s.Counts[i], a.Counts[i])
+			}
+		}
+	}
+	// Zero on the right is also the identity.
+	before := a
+	if !a.Merge(HistSnapshot{}) {
+		t.Fatal("merging the zero snapshot refused")
+	}
+	if a.Count != before.Count || a.Sum != before.Sum {
+		t.Error("zero-snapshot merge changed the accumulator")
+	}
+}
+
+// TestSnapshotMergeExemplars: the accumulator keeps its own exemplar and
+// adopts the other side's only where it has none.
+func TestSnapshotMergeExemplars(t *testing.T) {
+	ha := NewHistogram([]float64{1})
+	ha.ObserveExemplar(0.5, "aaaa")
+	hb := NewHistogram([]float64{1})
+	hb.ObserveExemplar(0.6, "bbbb")
+	hb.ObserveExemplar(5, "cccc") // overflow bucket
+	sa, sb := ha.Snapshot(), hb.Snapshot()
+	if !sa.Merge(sb) {
+		t.Fatal("merge refused")
+	}
+	if sa.Exemplars[0] == nil || sa.Exemplars[0].TraceID != "aaaa" {
+		t.Errorf("own exemplar overwritten: %+v", sa.Exemplars[0])
+	}
+	if sa.Exemplars[1] == nil || sa.Exemplars[1].TraceID != "cccc" {
+		t.Errorf("missing exemplar not adopted: %+v", sa.Exemplars[1])
+	}
+}

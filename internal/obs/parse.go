@@ -17,6 +17,15 @@ type ParsedSample struct {
 	Labels []Label
 	// Value is the parsed sample value.
 	Value float64
+	// Exemplar is the optional OpenMetrics-style exemplar attached after
+	// the sample (`... # {labels} value`), nil when absent.
+	Exemplar *ParsedExemplar
+}
+
+// ParsedExemplar is a parsed exemplar annotation.
+type ParsedExemplar struct {
+	Labels []Label
+	Value  float64
 }
 
 // ParsedFamily is one metric family reconstructed from an exposition.
@@ -179,6 +188,16 @@ func parseSampleLine(line string) (ParsedSample, error) {
 		s.Labels = labels
 		rest = rest[close+1:]
 	}
+	// An exemplar rides after the value (and optional timestamp) as
+	// " # {labels} value" — split it off before counting value fields.
+	if at := strings.Index(rest, " # "); at >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(rest[at+3:]))
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		s.Exemplar = ex
+		rest = rest[:at]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
 		return s, fmt.Errorf("sample %q has %d value fields", line, len(fields))
@@ -189,6 +208,31 @@ func parseSampleLine(line string) (ParsedSample, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar parses the `{labels} value [timestamp]` tail of an
+// exemplar annotation.
+func parseExemplar(body string) (*ParsedExemplar, error) {
+	if !strings.HasPrefix(body, "{") {
+		return nil, fmt.Errorf("exemplar %q must start with a label set", body)
+	}
+	close := strings.Index(body, "}")
+	if close < 0 {
+		return nil, fmt.Errorf("exemplar %q has an unterminated label set", body)
+	}
+	labels, err := parseLabels(body[1:close])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	fields := strings.Fields(body[close+1:])
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return nil, fmt.Errorf("exemplar %q has %d value fields", body, len(fields))
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %w", err)
+	}
+	return &ParsedExemplar{Labels: labels, Value: v}, nil
 }
 
 func parseLabels(body string) ([]Label, error) {

@@ -205,3 +205,165 @@ func TestSortSamples(t *testing.T) {
 		t.Errorf("sorted order %v", got)
 	}
 }
+
+// TestParseTextExemplars covers the OpenMetrics exemplar tail in its corner
+// forms: present, absent, escaped trace IDs, and malformed annotations that
+// must be rejected rather than silently swallowed.
+func TestParseTextExemplars(t *testing.T) {
+	cases := []struct {
+		name    string
+		text    string
+		wantErr bool
+		check   func(t *testing.T, fams []ParsedFamily)
+	}{
+		{
+			name: "bucket exemplar",
+			text: "# TYPE h histogram\n" +
+				`h_bucket{le="0.1"} 3 # {trace_id="00ab"} 0.07` + "\n" +
+				`h_bucket{le="+Inf"} 3` + "\n" +
+				"h_sum 0.2\nh_count 3\n",
+			check: func(t *testing.T, fams []ParsedFamily) {
+				ex := fams[0].Samples[0].Exemplar
+				if ex == nil {
+					t.Fatal("exemplar dropped")
+				}
+				if ex.Value != 0.07 || len(ex.Labels) != 1 || ex.Labels[0].Value != "00ab" {
+					t.Errorf("exemplar = %+v", ex)
+				}
+				if fams[0].Samples[1].Exemplar != nil {
+					t.Error("exemplar invented on bare bucket")
+				}
+			},
+		},
+		{
+			name: "escaped exemplar label",
+			text: "# TYPE h histogram\n" +
+				`h_bucket{le="+Inf"} 1 # {trace_id="a\"b\\c"} 1.5` + "\n" +
+				"h_sum 1.5\nh_count 1\n",
+			check: func(t *testing.T, fams []ParsedFamily) {
+				ex := fams[0].Samples[0].Exemplar
+				if ex == nil || ex.Labels[0].Value != `a"b\c` {
+					t.Errorf("escaped exemplar label = %+v", ex)
+				}
+			},
+		},
+		{
+			name:    "exemplar missing value",
+			text:    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"x\"}\nh_sum 1\nh_count 1\n",
+			wantErr: true,
+		},
+		{
+			name:    "exemplar bad value",
+			text:    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1 # {trace_id=\"x\"} nope\nh_sum 1\nh_count 1\n",
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fams, err := ParseText(tc.text)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("parse accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, fams)
+		})
+	}
+}
+
+// TestParseTextEscapedLabelValues: backslash escapes inside label values
+// must decode exactly once.
+func TestParseTextEscapedLabelValues(t *testing.T) {
+	text := "# TYPE g gauge\n" +
+		`g{path="C:\\tmp\\x",msg="say \"hi\"",nl="a\nb"} 1` + "\n"
+	fams, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, l := range fams[0].Samples[0].Labels {
+		got[l.Key] = l.Value
+	}
+	want := map[string]string{"path": `C:\tmp\x`, "msg": `say "hi"`, "nl": "a\nb"}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("label %s = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+// TestParseTextNonFinite: NaN and signed infinities are legal sample values.
+func TestParseTextNonFinite(t *testing.T) {
+	text := "# TYPE g gauge\n" +
+		`g{k="nan"} NaN` + "\n" +
+		`g{k="pinf"} +Inf` + "\n" +
+		`g{k="ninf"} -Inf` + "\n"
+	fams, err := ParseText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, s := range fams[0].Samples {
+		vals[s.Labels[0].Value] = s.Value
+	}
+	if !math.IsNaN(vals["nan"]) {
+		t.Errorf("NaN parsed as %g", vals["nan"])
+	}
+	if !math.IsInf(vals["pinf"], 1) || !math.IsInf(vals["ninf"], -1) {
+		t.Errorf("infinities parsed as %g / %g", vals["pinf"], vals["ninf"])
+	}
+}
+
+// TestExemplarWriteParseRoundTrip: whatever exemplars the writer emits, the
+// parser must recover — values, bucket position, and awkward trace IDs
+// included.
+func TestExemplarWriteParseRoundTrip(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	h.ObserveExemplar(0.005, "6e616e0000000000ffffffffffffffff")
+	h.ObserveExemplar(0.05, `quote"and\slash`)
+	h.Observe(0.5) // bucket without exemplar
+	h.ObserveExemplar(7, "overflow-trace")
+	fam := HistFamily("rt_seconds", "round trip", h.Snapshot())
+
+	var sb strings.Builder
+	if err := WriteText(&sb, []Family{fam}); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(sb.String())
+	if err != nil {
+		t.Fatalf("parse of own output: %v\n%s", err, sb.String())
+	}
+	var buckets []ParsedSample
+	for _, s := range fams[0].Samples {
+		if strings.HasSuffix(s.Name, "_bucket") {
+			buckets = append(buckets, s)
+		}
+	}
+	if len(buckets) != 4 {
+		t.Fatalf("%d bucket lines, want 4:\n%s", len(buckets), sb.String())
+	}
+	wantTrace := []string{"6e616e0000000000ffffffffffffffff", `quote"and\slash`, "", "overflow-trace"}
+	wantValue := []float64{0.005, 0.05, 0, 7}
+	for i, b := range buckets {
+		if wantTrace[i] == "" {
+			if b.Exemplar != nil {
+				t.Errorf("bucket %d grew an exemplar: %+v", i, b.Exemplar)
+			}
+			continue
+		}
+		if b.Exemplar == nil {
+			t.Errorf("bucket %d lost its exemplar", i)
+			continue
+		}
+		if got := b.Exemplar.Labels[0].Value; got != wantTrace[i] {
+			t.Errorf("bucket %d trace %q, want %q", i, got, wantTrace[i])
+		}
+		if b.Exemplar.Value != wantValue[i] {
+			t.Errorf("bucket %d exemplar value %g, want %g", i, b.Exemplar.Value, wantValue[i])
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloClock is a settable fake clock for the tracker's ring arithmetic.
+type sloClock struct{ at time.Time }
+
+func (c *sloClock) now() time.Time          { return c.at }
+func (c *sloClock) advance(d time.Duration) { c.at = c.at.Add(d) }
+func newSLOClock() *sloClock                { return &sloClock{at: time.Unix(1_700_000_000, 0)} }
+func testObjective(target float64) Objective {
+	return Objective{Endpoint: "spmv", LatencyTarget: 0.25, Target: target}
+}
+
+func TestSLOBurnMath(t *testing.T) {
+	clk := newSLOClock()
+	tr := NewSLOTracker([]Objective{testObjective(0.99)}, nil, clk.now)
+	// 99% objective → 1% error budget. 10 bad of 100 = 10% bad fraction,
+	// so the budget burns 10x faster than allowed.
+	for i := 0; i < 90; i++ {
+		tr.Record("spmv", 0.01, false)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record("spmv", 1.0, false) // over latency target → bad
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record("spmv", 0.01, true) // failed → bad
+	}
+	burn, good, bad := tr.Burn("spmv", 5*time.Minute)
+	if good != 90 || bad != 10 {
+		t.Fatalf("good/bad = %d/%d, want 90/10", good, bad)
+	}
+	if math.Abs(burn-10) > 1e-9 {
+		t.Errorf("burn = %g, want 10", burn)
+	}
+	// Zero traffic on an unknown endpoint burns nothing.
+	if b, _, _ := tr.Burn("nope", 5*time.Minute); b != 0 {
+		t.Errorf("unknown endpoint burn = %g", b)
+	}
+}
+
+func TestSLOWindowsExpireOldBuckets(t *testing.T) {
+	clk := newSLOClock()
+	tr := NewSLOTracker([]Objective{testObjective(0.9)}, nil, clk.now)
+	tr.Record("spmv", 1.0, false) // bad now
+	burn, _, bad := tr.Burn("spmv", 5*time.Minute)
+	if bad != 1 || burn == 0 {
+		t.Fatalf("fresh bad not visible: burn=%g bad=%d", burn, bad)
+	}
+	// After 10 minutes the 5m window has rolled past it but 30m still sees it.
+	clk.advance(10 * time.Minute)
+	if _, _, bad := tr.Burn("spmv", 5*time.Minute); bad != 0 {
+		t.Errorf("5m window still counts %d bad after 10m", bad)
+	}
+	if _, _, bad := tr.Burn("spmv", 30*time.Minute); bad != 1 {
+		t.Errorf("30m window lost the bad request (bad=%d)", bad)
+	}
+	// After the longest window passes, the ring slot is reused cleanly.
+	clk.advance(2 * time.Hour)
+	tr.Record("spmv", 0.01, false)
+	if _, good, bad := tr.Burn("spmv", time.Hour); good != 1 || bad != 0 {
+		t.Errorf("after ring wrap good/bad = %d/%d, want 1/0", good, bad)
+	}
+}
+
+func TestSLOFamiliesPresentAtZeroTraffic(t *testing.T) {
+	clk := newSLOClock()
+	tr := NewSLOTracker([]Objective{
+		{Endpoint: "spmv", LatencyTarget: 0.25, Target: 0.99},
+		{Endpoint: "solve", LatencyTarget: 5, Target: 0.95},
+	}, nil, clk.now)
+	fams := tr.Families("ocsd")
+	if len(fams) != 2 {
+		t.Fatalf("%d families, want 2", len(fams))
+	}
+	burnFam := fams[0]
+	if burnFam.Name != "ocsd_slo_burn_rate" {
+		t.Fatalf("family name %q", burnFam.Name)
+	}
+	// Every endpoint × window pair must exist before any traffic.
+	want := map[string]bool{}
+	for _, ep := range []string{"spmv", "solve"} {
+		for _, w := range []string{"5m", "30m", "1h"} {
+			want[ep+"/"+w] = false
+		}
+	}
+	for _, s := range burnFam.Samples {
+		var ep, w string
+		for _, l := range s.Labels {
+			switch l.Key {
+			case "endpoint":
+				ep = l.Value
+			case "window":
+				w = l.Value
+			}
+		}
+		if s.Value != 0 {
+			t.Errorf("zero-traffic burn %s/%s = %g", ep, w, s.Value)
+		}
+		want[ep+"/"+w] = true
+	}
+	for pair, seen := range want {
+		if !seen {
+			t.Errorf("pair %s missing from zero-traffic exposition", pair)
+		}
+	}
+	// And the whole thing must survive the text writer.
+	var sb strings.Builder
+	if err := WriteText(&sb, fams); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if !strings.Contains(sb.String(), `ocsd_slo_burn_rate{endpoint="spmv",window="5m"} 0`) {
+		t.Errorf("exposition missing burn gauge:\n%s", sb.String())
+	}
+}
+
+func TestSLOTrackerNilSafe(t *testing.T) {
+	var tr *SLOTracker
+	tr.Record("spmv", 1, false)
+	if _, ok := tr.Objective("spmv"); ok {
+		t.Error("nil tracker has objectives")
+	}
+	if b, _, _ := tr.Burn("spmv", time.Minute); b != 0 {
+		t.Error("nil tracker burns")
+	}
+	if fams := tr.Families("x"); fams != nil {
+		t.Error("nil tracker emits families")
+	}
+}
+
+func TestSLOBurnRatesKeys(t *testing.T) {
+	clk := newSLOClock()
+	tr := NewSLOTracker([]Objective{testObjective(0.5)}, []time.Duration{time.Minute}, clk.now)
+	tr.Record("spmv", 1, true)
+	rates := tr.BurnRates()
+	if got, ok := rates["spmv/1m"]; !ok || math.Abs(got-2) > 1e-9 {
+		t.Errorf("BurnRates() = %v, want spmv/1m = 2", rates)
+	}
+}

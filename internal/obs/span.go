@@ -1,0 +1,405 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a trace context across
+// process boundaries: "OCS-Trace: <32-hex trace id>-<16-hex span id>".
+// The server opens a request span under the carried parent (or mints a
+// fresh trace when the header is absent) and echoes the new context back
+// on the response, so callers — including the replay harness — learn the
+// trace ID of every request they issue.
+const TraceHeader = "OCS-Trace"
+
+// TraceID is a 128-bit trace identifier, rendered as 32 lowercase hex
+// digits. The zero value means "no trace".
+type TraceID [2]uint64
+
+// SpanID is a 64-bit span identifier, rendered as 16 lowercase hex digits.
+// The zero value means "no span" (a root span has Parent == 0).
+type SpanID uint64
+
+// idFallback seeds non-crypto ID generation if crypto/rand ever fails
+// (it practically cannot); a counter keeps even that path collision-free
+// within a process.
+var idFallback atomic.Uint64
+
+func randUint64() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return idFallback.Add(0x9e3779b97f4a7c15)
+	}
+	v := binary.LittleEndian.Uint64(b[:])
+	if v == 0 {
+		v = idFallback.Add(1)
+	}
+	return v
+}
+
+// NewTraceID mints a random non-zero 128-bit trace ID.
+func NewTraceID() TraceID { return TraceID{randUint64(), randUint64()} }
+
+// NewSpanID mints a random non-zero span ID.
+func NewSpanID() SpanID { return SpanID(randUint64()) }
+
+// IsZero reports whether the trace ID is the "no trace" sentinel.
+func (t TraceID) IsZero() bool { return t[0] == 0 && t[1] == 0 }
+
+func (t TraceID) String() string { return fmt.Sprintf("%016x%016x", t[0], t[1]) }
+
+// ParseTraceID parses the 32-hex-digit form String produces.
+func ParseTraceID(s string) (TraceID, error) {
+	if len(s) != 32 {
+		return TraceID{}, fmt.Errorf("obs: trace id %q: want 32 hex digits", s)
+	}
+	hi, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil {
+		return TraceID{}, fmt.Errorf("obs: trace id %q: %w", s, err)
+	}
+	lo, err := strconv.ParseUint(s[16:], 16, 64)
+	if err != nil {
+		return TraceID{}, fmt.Errorf("obs: trace id %q: %w", s, err)
+	}
+	return TraceID{hi, lo}, nil
+}
+
+// MarshalJSON renders the trace ID as its hex string.
+func (t TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON accepts the hex string form.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	id, err := ParseTraceID(s)
+	if err != nil {
+		return err
+	}
+	*t = id
+	return nil
+}
+
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// ParseSpanID parses the 16-hex-digit form String produces.
+func ParseSpanID(str string) (SpanID, error) {
+	if len(str) != 16 {
+		return 0, fmt.Errorf("obs: span id %q: want 16 hex digits", str)
+	}
+	v, err := strconv.ParseUint(str, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: span id %q: %w", str, err)
+	}
+	return SpanID(v), nil
+}
+
+// MarshalJSON renders the span ID as its hex string.
+func (s SpanID) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the hex string form.
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	id, err := ParseSpanID(str)
+	if err != nil {
+		return err
+	}
+	*s = id
+	return nil
+}
+
+// SpanContext is the propagated part of a span: which trace it belongs to
+// and which span is the parent of whatever work happens next.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Header renders the context in OCS-Trace wire form.
+func (sc SpanContext) Header() string { return sc.Trace.String() + "-" + sc.Span.String() }
+
+// ParseTraceHeader decodes an OCS-Trace header value. Malformed or empty
+// values return ok == false — propagation is best-effort; a bad header
+// must never fail the request that carried it.
+func ParseTraceHeader(v string) (SpanContext, bool) {
+	if len(v) != 32+1+16 || v[32] != '-' {
+		return SpanContext{}, false
+	}
+	tr, err := ParseTraceID(v[:32])
+	if err != nil || tr.IsZero() {
+		return SpanContext{}, false
+	}
+	sp, err := ParseSpanID(v[33:])
+	if err != nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: tr, Span: sp}, true
+}
+
+// Span is one completed timed operation inside a trace. Spans are plain
+// data: shards serve their local spans as JSON and the router assembles the
+// cross-process tree from them.
+type Span struct {
+	Trace   TraceID           `json:"trace"`
+	ID      SpanID            `json:"id"`
+	Parent  SpanID            `json:"parent,omitempty"`
+	Name    string            `json:"name"`
+	Service string            `json:"service,omitempty"`
+	Start   time.Time         `json:"start"`
+	Seconds float64           `json:"seconds"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer is a bounded in-memory span store: a FIFO of recent traces, each
+// holding its spans. When the trace capacity is exceeded the oldest trace
+// is dropped whole — partial traces are worse than absent ones.
+type Tracer struct {
+	service string
+
+	mu      sync.Mutex
+	cap     int
+	spanCap int
+	order   []TraceID
+	byTrace map[TraceID][]Span
+}
+
+// DefaultTraceCapacity bounds how many distinct traces a Tracer retains.
+const DefaultTraceCapacity = 256
+
+// defaultSpanCap bounds spans retained per trace (a runaway instrumented
+// loop must not hold the store hostage).
+const defaultSpanCap = 512
+
+// NewTracer builds a tracer whose recorded spans carry the given service
+// name. capacity <= 0 selects DefaultTraceCapacity.
+func NewTracer(service string, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{
+		service: service,
+		cap:     capacity,
+		spanCap: defaultSpanCap,
+		byTrace: make(map[TraceID][]Span),
+	}
+}
+
+// Service returns the name stamped on spans this tracer starts.
+func (t *Tracer) Service() string { return t.service }
+
+// StartSpan opens a span. A zero parent trace mints a fresh trace (the span
+// becomes a root); otherwise the span joins the parent's trace as a child.
+// The span is recorded when End is called.
+func (t *Tracer) StartSpan(name string, parent SpanContext) *ActiveSpan {
+	sp := Span{
+		Trace:   parent.Trace,
+		ID:      NewSpanID(),
+		Parent:  parent.Span,
+		Name:    name,
+		Service: t.service,
+		Start:   time.Now(),
+	}
+	if sp.Trace.IsZero() {
+		sp.Trace = NewTraceID()
+		sp.Parent = 0
+	}
+	return &ActiveSpan{t: t, sp: sp}
+}
+
+// Record stores a completed span (built elsewhere — e.g. forwarded from the
+// core selector's span sink). Spans without a trace are dropped.
+func (t *Tracer) Record(sp Span) {
+	if t == nil || sp.Trace.IsZero() {
+		return
+	}
+	if sp.Service == "" {
+		sp.Service = t.service
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans, ok := t.byTrace[sp.Trace]
+	if !ok {
+		if len(t.order) >= t.cap {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			delete(t.byTrace, oldest)
+		}
+		t.order = append(t.order, sp.Trace)
+	}
+	if len(spans) >= t.spanCap {
+		return
+	}
+	t.byTrace[sp.Trace] = append(spans, sp)
+}
+
+// Spans returns a copy of the stored spans for one trace (nil if unknown).
+func (t *Tracer) Spans(id TraceID) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := t.byTrace[id]
+	if spans == nil {
+		return nil
+	}
+	return append([]Span(nil), spans...)
+}
+
+// Traces reports how many distinct traces the store currently holds.
+func (t *Tracer) Traces() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.order)
+}
+
+// ActiveSpan is an open span: set attributes while the work runs, then End
+// to record it. An ActiveSpan is not safe for concurrent use — each
+// goroutine opens its own.
+type ActiveSpan struct {
+	t     *Tracer
+	sp    Span
+	ended bool
+}
+
+// Context returns the propagation context naming this span as the parent
+// of downstream work.
+func (a *ActiveSpan) Context() SpanContext {
+	return SpanContext{Trace: a.sp.Trace, Span: a.sp.ID}
+}
+
+// StartTime reports when the span was opened.
+func (a *ActiveSpan) StartTime() time.Time { return a.sp.Start }
+
+// SetAttr attaches a key=value annotation to the span.
+func (a *ActiveSpan) SetAttr(k, v string) {
+	if a.sp.Attrs == nil {
+		a.sp.Attrs = make(map[string]string)
+	}
+	a.sp.Attrs[k] = v
+}
+
+// End stamps the duration and records the span; it returns the measured
+// seconds. Ending twice records once.
+func (a *ActiveSpan) End() float64 {
+	if a.ended {
+		return a.sp.Seconds
+	}
+	a.ended = true
+	a.sp.Seconds = time.Since(a.sp.Start).Seconds()
+	a.t.Record(a.sp)
+	return a.sp.Seconds
+}
+
+// SpanNode is a span with its children resolved — the JSON shape
+// /v1/trace/{id} serves.
+type SpanNode struct {
+	Span
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// BuildTree assembles spans (from any number of services) into forest form:
+// children sorted under their parents by start time, roots first. Spans
+// whose parent is absent from the set become roots themselves — a shard's
+// subtree still renders when the router-side parent was evicted.
+func BuildTree(spans []Span) []*SpanNode {
+	nodes := make(map[SpanID]*SpanNode, len(spans))
+	for _, sp := range spans {
+		nodes[sp.ID] = &SpanNode{Span: sp}
+	}
+	var roots []*SpanNode
+	for _, sp := range spans {
+		n := nodes[sp.ID]
+		if p, ok := nodes[sp.Parent]; ok && sp.Parent != sp.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes := func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			if !ns[i].Start.Equal(ns[j].Start) {
+				return ns[i].Start.Before(ns[j].Start)
+			}
+			return ns[i].ID < ns[j].ID
+		})
+	}
+	sortNodes(roots)
+	var rec func(*SpanNode)
+	rec = func(n *SpanNode) {
+		sortNodes(n.Children)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	return roots
+}
+
+// SlowTrace is one entry in the slowest-traces ring: enough to find the
+// full tree via /v1/trace/{id}.
+type SlowTrace struct {
+	Trace    TraceID   `json:"trace"`
+	Endpoint string    `json:"endpoint"`
+	Seconds  float64   `json:"seconds"`
+	Start    time.Time `json:"start"`
+}
+
+// SlowTraces keeps the N slowest request traces seen so far (by duration),
+// serving /debug/slow. Offer is O(N) with tiny N; fine on the request path.
+type SlowTraces struct {
+	mu    sync.Mutex
+	cap   int
+	items []SlowTrace // sorted by Seconds descending
+}
+
+// NewSlowTraces builds a ring keeping the n slowest traces (n <= 0 → 32).
+func NewSlowTraces(n int) *SlowTraces {
+	if n <= 0 {
+		n = 32
+	}
+	return &SlowTraces{cap: n}
+}
+
+// Offer records a completed request; it is kept only if it ranks among the
+// slowest seen.
+func (s *SlowTraces) Offer(st SlowTrace) {
+	if s == nil || st.Trace.IsZero() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) >= s.cap && st.Seconds <= s.items[len(s.items)-1].Seconds {
+		return
+	}
+	pos := sort.Search(len(s.items), func(i int) bool {
+		return s.items[i].Seconds < st.Seconds
+	})
+	s.items = append(s.items, SlowTrace{})
+	copy(s.items[pos+1:], s.items[pos:])
+	s.items[pos] = st
+	if len(s.items) > s.cap {
+		s.items = s.items[:s.cap]
+	}
+}
+
+// List returns the retained traces, slowest first.
+func (s *SlowTraces) List() []SlowTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SlowTrace(nil), s.items...)
+}

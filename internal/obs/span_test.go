@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := TraceID{0x0123456789abcdef, 0xfedcba9876543210}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex digits", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Errorf("round trip %v != %v", back, id)
+	}
+	for _, bad := range []string{"", "abc", s + "0", "g" + s[1:], s[:31] + "Z"} {
+		if _, err := ParseTraceID(bad); err == nil {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+
+	data, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `"`+s+`"` {
+		t.Errorf("JSON form %s, want quoted hex", data)
+	}
+	var dec TraceID
+	if err := json.Unmarshal(data, &dec); err != nil || dec != id {
+		t.Errorf("JSON round trip %v (%v)", dec, err)
+	}
+}
+
+func TestSpanIDRoundTrip(t *testing.T) {
+	id := SpanID(0x00ab00cd00ef0011)
+	back, err := ParseSpanID(id.String())
+	if err != nil || back != id {
+		t.Fatalf("round trip %v (%v), want %v", back, err, id)
+	}
+	if _, err := ParseSpanID("1234"); err == nil {
+		t.Error("short span id accepted")
+	}
+	var dec SpanID
+	data, _ := json.Marshal(id)
+	if err := json.Unmarshal(data, &dec); err != nil || dec != id {
+		t.Errorf("JSON round trip %v (%v)", dec, err)
+	}
+}
+
+func TestParseTraceHeader(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	got, ok := ParseTraceHeader(sc.Header())
+	if !ok || got != sc {
+		t.Fatalf("ParseTraceHeader(Header()) = %v, %v", got, ok)
+	}
+	zero := SpanContext{}
+	for _, bad := range []string{
+		"",
+		"not-a-header",
+		sc.Trace.String(), // no span part
+		sc.Trace.String() + ":" + sc.Span.String(), // wrong separator
+		zero.Header(), // zero trace must not parse
+	} {
+		if _, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTracerStartSpanMintsAndJoins(t *testing.T) {
+	tr := NewTracer("svc", 8)
+	root := tr.StartSpan("root", SpanContext{})
+	if root.Context().Trace.IsZero() {
+		t.Fatal("root span has no trace")
+	}
+	child := tr.StartSpan("child", root.Context())
+	if child.Context().Trace != root.Context().Trace {
+		t.Error("child did not join the parent trace")
+	}
+	child.SetAttr("k", "v")
+	child.End()
+	root.End()
+	spans := tr.Spans(root.Context().Trace)
+	if len(spans) != 2 {
+		t.Fatalf("stored %d spans, want 2", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Service != "svc" {
+			t.Errorf("span %q service %q, want svc", sp.Name, sp.Service)
+		}
+	}
+	// End twice records once.
+	root.End()
+	if got := len(tr.Spans(root.Context().Trace)); got != 2 {
+		t.Errorf("double End stored %d spans, want 2", got)
+	}
+}
+
+func TestTracerEvictsOldestTraceWhole(t *testing.T) {
+	tr := NewTracer("svc", 2)
+	var traces []TraceID
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan(fmt.Sprintf("op%d", i), SpanContext{})
+		sp.End()
+		traces = append(traces, sp.Context().Trace)
+	}
+	if got := tr.Traces(); got != 2 {
+		t.Fatalf("store holds %d traces, want 2", got)
+	}
+	if tr.Spans(traces[0]) != nil {
+		t.Error("oldest trace not evicted")
+	}
+	for _, id := range traces[1:] {
+		if len(tr.Spans(id)) != 1 {
+			t.Errorf("trace %v lost its span", id)
+		}
+	}
+}
+
+func TestTracerRecordDropsZeroTrace(t *testing.T) {
+	tr := NewTracer("svc", 8)
+	tr.Record(Span{Name: "orphan"})
+	if got := tr.Traces(); got != 0 {
+		t.Errorf("zero-trace span stored (%d traces)", got)
+	}
+	// Forwarded spans without a service get stamped.
+	id := NewTraceID()
+	tr.Record(Span{Trace: id, ID: NewSpanID(), Name: "fwd"})
+	if spans := tr.Spans(id); len(spans) != 1 || spans[0].Service != "svc" {
+		t.Errorf("forwarded span = %+v, want service stamped", spans)
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	trace := NewTraceID()
+	t0 := time.Now()
+	mk := func(id, parent SpanID, name string, at time.Duration) Span {
+		return Span{Trace: trace, ID: id, Parent: parent, Name: name, Start: t0.Add(at)}
+	}
+	spans := []Span{
+		mk(3, 1, "child-late", 2*time.Millisecond),
+		mk(1, 0, "root", 0),
+		mk(2, 1, "child-early", time.Millisecond),
+		mk(5, 4, "orphan-child", 3*time.Millisecond), // parent 4 absent → root
+	}
+	roots := BuildTree(spans)
+	if len(roots) != 2 {
+		t.Fatalf("%d roots, want 2 (root + orphan)", len(roots))
+	}
+	if roots[0].Name != "root" || roots[1].Name != "orphan-child" {
+		t.Errorf("roots = %q, %q", roots[0].Name, roots[1].Name)
+	}
+	kids := roots[0].Children
+	if len(kids) != 2 || kids[0].Name != "child-early" || kids[1].Name != "child-late" {
+		t.Errorf("children out of order: %+v", kids)
+	}
+}
+
+func TestSlowTracesKeepsSlowest(t *testing.T) {
+	s := NewSlowTraces(2)
+	for i, secs := range []float64{0.1, 0.5, 0.3, 0.01} {
+		s.Offer(SlowTrace{Trace: TraceID{1, uint64(i) + 1}, Seconds: secs})
+	}
+	got := s.List()
+	if len(got) != 2 || got[0].Seconds != 0.5 || got[1].Seconds != 0.3 {
+		t.Errorf("List() = %+v, want [0.5 0.3]", got)
+	}
+	s.Offer(SlowTrace{Seconds: 99}) // zero trace: dropped
+	if len(s.List()) != 2 {
+		t.Error("zero-trace entry stored")
+	}
+}
+
+func TestSpanContextRoundTripsThroughContext(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	ctx := ContextWithSpan(context.Background(), sc)
+	got, ok := SpanFromContext(ctx)
+	if !ok || got != sc {
+		t.Fatalf("SpanFromContext = %v, %v", got, ok)
+	}
+	if _, ok := SpanFromContext(context.Background()); ok {
+		t.Error("empty context produced a span")
+	}
+	if _, ok := SpanFromContext(ContextWithSpan(context.Background(), SpanContext{})); ok {
+		t.Error("zero span context reported ok")
+	}
+}

@@ -21,6 +21,7 @@ package retrain
 import (
 	"fmt"
 	"log/slog"
+	"strconv"
 	"sync"
 	"time"
 
@@ -103,6 +104,11 @@ type Config struct {
 	SaveDir string
 	// Logger receives the loop's structured logs; nil = slog.Default().
 	Logger *slog.Logger
+	// Tracer, when non-nil, receives one root span per tick (service
+	// "retrain", name "retrain.tick") annotated with what the tick did, so
+	// background model refreshes are inspectable through the same
+	// /v1/spans plumbing as request traffic.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -278,6 +284,19 @@ func (l *Loop) Tick() TickResult {
 	defer l.mu.Unlock()
 
 	var res TickResult
+	if tr := l.cfg.Tracer; tr != nil {
+		sp := tr.StartSpan("retrain.tick", obs.SpanContext{})
+		defer func() {
+			sp.SetAttr("harvested", strconv.Itoa(res.Harvested))
+			sp.SetAttr("drifted", strconv.Itoa(len(res.Drifted)))
+			sp.SetAttr("retrained", strconv.FormatBool(res.Retrained))
+			sp.SetAttr("swapped", strconv.FormatBool(res.Swapped))
+			if res.Swapped {
+				sp.SetAttr("generation", strconv.FormatInt(res.Generation, 10))
+			}
+			sp.End()
+		}()
+	}
 	res.Harvested = l.harvestLocked()
 
 	for key, cs := range l.classes {

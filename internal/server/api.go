@@ -47,9 +47,9 @@ type GenerateSpec struct {
 // selector did for this handle and what it cost (the paper's T_predict and
 // T_convert, measured).
 type SelectorStats struct {
-	Iterations     int     `json:"iterations"`
-	Stage1Ran      bool    `json:"stage1_ran"`
-	PredictedTotal int     `json:"predicted_total,omitempty"`
+	Iterations     int  `json:"iterations"`
+	Stage1Ran      bool `json:"stage1_ran"`
+	PredictedTotal int  `json:"predicted_total,omitempty"`
 	// Stage0Skip reports that the structural classifier answered "obviously
 	// stay on CSR" and stage 2 never ran for this handle.
 	Stage0Skip     bool    `json:"stage0_skip,omitempty"`
@@ -134,6 +134,11 @@ type SpMVRequest struct {
 	// all rows.
 	RowLo int `json:"row_lo,omitempty"`
 	RowHi int `json:"row_hi,omitempty"`
+	// Progress, when set, feeds the caller's loop-progress indicator (e.g.
+	// a distributed solve's residual norm) to this shard's selector before
+	// computing, so shards that only ever serve gather fan-out still open
+	// their lazy gate and run the format-selection pipeline.
+	Progress *float64 `json:"progress,omitempty"`
 }
 
 // SpMVResponse returns y = A*x for each input vector, in order.
@@ -221,6 +226,21 @@ type DecisionsResponse struct {
 type RetrainResponse struct {
 	Enabled bool            `json:"enabled"`
 	Status  *retrain.Status `json:"status,omitempty"`
+}
+
+// SpansResponse is the body of GET /v1/spans/{trace}: this shard's local
+// spans for one trace, unassembled (the router's /v1/trace/{id} builds the
+// cross-shard tree). An empty list means the shard never saw the trace.
+type SpansResponse struct {
+	Trace string     `json:"trace"`
+	Count int        `json:"count"`
+	Spans []obs.Span `json:"spans"`
+}
+
+// SlowResponse is the body of GET /debug/slow: the slowest request traces
+// seen so far, slowest first.
+type SlowResponse struct {
+	Slowest []obs.SlowTrace `json:"slowest"`
 }
 
 // errorResponse is the uniform error body.

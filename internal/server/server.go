@@ -90,6 +90,26 @@ type Config struct {
 	EnablePprof bool
 	// Logger receives the server's structured logs; nil uses slog.Default().
 	Logger *slog.Logger
+	// SLOs are the per-endpoint latency/error objectives the burn-rate
+	// gauges (ocsd_slo_burn_rate) and slow-request logging are computed
+	// against; nil uses DefaultSLOs().
+	SLOs []obs.Objective
+	// SlowTraceCount sizes the /debug/slow ring of slowest traces
+	// (default 32).
+	SlowTraceCount int
+	// TraceCapacity bounds how many recent traces the span store retains
+	// (default obs.DefaultTraceCapacity).
+	TraceCapacity int
+}
+
+// DefaultSLOs are the serving objectives applied when Config.SLOs is nil:
+// interactive endpoints get tight targets, solves get room to iterate.
+func DefaultSLOs() []obs.Objective {
+	return []obs.Objective{
+		{Endpoint: "register", LatencyTarget: 2, Target: 0.99},
+		{Endpoint: "spmv", LatencyTarget: 0.25, Target: 0.99},
+		{Endpoint: "solve", LatencyTarget: 5, Target: 0.95},
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +143,12 @@ type Server struct {
 	journal *obs.Journal
 	log     *slog.Logger
 	mux     *http.ServeMux
+	// tracer stores this shard's spans per trace; slo scores request
+	// outcomes against the configured objectives; slow keeps the slowest
+	// request traces for /debug/slow.
+	tracer *obs.Tracer
+	slo    *obs.SLOTracker
+	slow   *obs.SlowTraces
 	// preds is the live stage-2 predictor bundle new handles are built
 	// with. It is an atomic pointer — not cfg.Preds read directly — because
 	// the online retrainer hot-swaps whole bundles while registrations are
@@ -158,6 +184,10 @@ func New(cfg Config) *Server {
 		logger = slog.Default()
 	}
 	m := NewMetrics()
+	slos := cfg.SLOs
+	if slos == nil {
+		slos = DefaultSLOs()
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     NewRegistry(cfg.MaxRegistryNNZ, m),
@@ -166,6 +196,9 @@ func New(cfg Config) *Server {
 		journal: obs.NewJournal(cfg.JournalCapacity),
 		log:     logger,
 		mux:     http.NewServeMux(),
+		tracer:  obs.NewTracer("ocsd", cfg.TraceCapacity),
+		slo:     obs.NewSLOTracker(slos, nil, nil),
+		slow:    obs.NewSlowTraces(cfg.SlowTraceCount),
 		idle:    make(chan struct{}),
 	}
 	if cfg.Preds != nil {
@@ -179,14 +212,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
 	s.mux.HandleFunc("GET /debug/decisions", s.handleDecisions)
 	s.mux.HandleFunc("GET /debug/retrain", s.handleRetrain)
-	s.mux.Handle("POST /v1/matrices", s.track(s.handleRegister))
-	s.mux.Handle("GET /v1/matrices", s.track(s.handleList))
-	s.mux.Handle("GET /v1/matrices/{id}", s.track(s.handleGet))
-	s.mux.Handle("GET /v1/matrices/{id}/export", s.track(s.handleExport))
-	s.mux.Handle("DELETE /v1/matrices/{id}", s.track(s.handleDelete))
-	s.mux.Handle("POST /v1/matrices/{id}/spmv", s.track(s.handleSpMV))
-	s.mux.Handle("POST /v1/matrices/{id}/solve", s.track(s.handleSolve))
-	s.mux.Handle("GET /v1/trace/{id}", s.track(s.handleTrace))
+	s.mux.HandleFunc("GET /debug/slow", s.handleSlow)
+	s.mux.HandleFunc("GET /v1/spans/{trace}", s.handleSpans)
+	s.mux.Handle("POST /v1/matrices", s.track("register", s.handleRegister))
+	s.mux.Handle("GET /v1/matrices", s.track("list", s.handleList))
+	s.mux.Handle("GET /v1/matrices/{id}", s.track("get", s.handleGet))
+	s.mux.Handle("GET /v1/matrices/{id}/export", s.track("export", s.handleExport))
+	s.mux.Handle("DELETE /v1/matrices/{id}", s.track("delete", s.handleDelete))
+	s.mux.Handle("POST /v1/matrices/{id}/spmv", s.track("spmv", s.handleSpMV))
+	s.mux.Handle("POST /v1/matrices/{id}/solve", s.track("solve", s.handleSolve))
+	s.mux.Handle("GET /v1/trace/{id}", s.track("trace", s.handleTrace))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -209,6 +244,9 @@ func (s *Server) Journal() *obs.Journal { return s.journal }
 
 // Registry exposes the matrix registry (primarily for tests and the daemon).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Tracer exposes the span store (primarily for tests and the router).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Predictors returns the live stage-2 bundle new handles are built with
 // (nil = stage 1 only). Together with SetPredictors it makes the Server a
@@ -248,10 +286,47 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, RetrainResponse{Enabled: true, Status: &st})
 }
 
-// track wraps a /v1 handler with request accounting and drain gating: once
+// traceWriter decorates the response writer with the request-scoped logger
+// (carrying trace_id) and the final status code, so fail() logs correlated
+// lines and track() can score the request against its SLO.
+type traceWriter struct {
+	http.ResponseWriter
+	status int
+	log    *slog.Logger
+}
+
+func (tw *traceWriter) WriteHeader(code int) {
+	if tw.status == 0 {
+		tw.status = code
+	}
+	tw.ResponseWriter.WriteHeader(code)
+}
+
+func (tw *traceWriter) Write(b []byte) (int, error) {
+	if tw.status == 0 {
+		tw.status = http.StatusOK
+	}
+	return tw.ResponseWriter.Write(b)
+}
+
+// reqLog returns the request-scoped logger when w was wrapped by track (it
+// carries the request's trace_id), the base logger otherwise.
+func (s *Server) reqLog(w http.ResponseWriter) *slog.Logger {
+	if tw, ok := w.(*traceWriter); ok {
+		return tw.log
+	}
+	return s.log
+}
+
+// track wraps a /v1 handler with request accounting and drain gating (once
 // Drain has been called, new work is refused with 503 while in-flight
-// requests run to completion.
-func (s *Server) track(h http.HandlerFunc) http.Handler {
+// requests run to completion) and with the observability envelope: a
+// request span is opened under the OCS-Trace header's parent (or a fresh
+// trace), the new context is echoed back on the response and threaded
+// through the request context, the outcome is scored against the
+// endpoint's SLO, and requests breaching it are logged at Warn with their
+// span breakdown.
+func (s *Server) track(endpoint string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.drainMu.Lock()
 		if s.draining {
@@ -272,9 +347,61 @@ func (s *Server) track(h http.HandlerFunc) http.Handler {
 			}
 			s.drainMu.Unlock()
 		}()
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		h(w, r)
+		parent, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+		sp := s.tracer.StartSpan("ocsd."+endpoint, parent)
+		sp.SetAttr("path", r.URL.Path)
+		sc := sp.Context()
+		w.Header().Set(obs.TraceHeader, sc.Header())
+		tw := &traceWriter{ResponseWriter: w, log: s.log.With("trace_id", sc.Trace.String())}
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sc))
+		r.Body = http.MaxBytesReader(tw, r.Body, s.cfg.MaxBodyBytes)
+		h(tw, r)
+		if tw.status == 0 {
+			tw.status = http.StatusOK
+		}
+		sp.SetAttr("status", strconv.Itoa(tw.status))
+		secs := sp.End()
+		failed := tw.status >= 500
+		s.slo.Record(endpoint, secs, failed)
+		s.slow.Offer(obs.SlowTrace{Trace: sc.Trace, Endpoint: endpoint, Seconds: secs, Start: sp.StartTime()})
+		if obj, ok := s.slo.Objective(endpoint); ok && (failed || secs > obj.LatencyTarget) {
+			tw.log.Warn("request breached SLO",
+				"endpoint", endpoint, "status", tw.status,
+				"seconds", secs, "target_seconds", obj.LatencyTarget,
+				"spans", spanBreakdown(s.tracer.Spans(sc.Trace)))
+		}
 	})
+}
+
+// recordSpan stores one completed child span under the request span. It is
+// a no-op for untraced requests (zero trace context) — Tracer.Record drops
+// zero-trace spans.
+func (s *Server) recordSpan(sc obs.SpanContext, name string, start time.Time, secs float64, attrs ...[2]string) {
+	sp := obs.Span{
+		Trace:   sc.Trace,
+		ID:      obs.NewSpanID(),
+		Parent:  sc.Span,
+		Name:    name,
+		Start:   start,
+		Seconds: secs,
+	}
+	if len(attrs) > 0 {
+		sp.Attrs = make(map[string]string, len(attrs))
+		for _, kv := range attrs {
+			sp.Attrs[kv[0]] = kv[1]
+		}
+	}
+	s.tracer.Record(sp)
+}
+
+// spanBreakdown renders a trace's spans as a compact name=seconds list for
+// the slow-request log line.
+func spanBreakdown(spans []obs.Span) string {
+	parts := make([]string, 0, len(spans))
+	for _, sp := range spans {
+		parts = append(parts, fmt.Sprintf("%s=%.6fs", sp.Name, sp.Seconds))
+	}
+	return strings.Join(parts, " ")
 }
 
 // Drain stops admitting new /v1 requests and waits until every in-flight
@@ -311,9 +438,9 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 	s.metrics.RequestErrors.Add(1)
 	msg := fmt.Sprintf(format, args...)
 	if code >= 500 {
-		s.log.Warn("request failed", "status", code, "error", msg)
+		s.reqLog(w).Warn("request failed", "status", code, "error", msg)
 	} else {
-		s.log.Debug("request rejected", "status", code, "error", msg)
+		s.reqLog(w).Debug("request rejected", "status", code, "error", msg)
 	}
 	s.writeJSON(w, code, errorResponse{Error: msg})
 }
@@ -389,6 +516,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	extra := []obs.Family{
 		obs.ScalarFamily("ocsd_decision_traces", "Decision traces currently held in the journal.", obs.KindGauge, float64(s.journal.Len())),
 	}
+	extra = append(extra, s.slo.Families("ocsd")...)
 	if l := s.retrainLoop.Load(); l != nil {
 		extra = append(extra, l.MetricFamilies()...)
 	}
@@ -436,6 +564,25 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	}
 	traces := s.journal.Recent(n)
 	s.writeJSON(w, http.StatusOK, DecisionsResponse{Count: len(traces), Traces: traces})
+}
+
+// handleSpans dumps this shard's local spans for one trace ID. A trace the
+// shard never saw (or already evicted) yields an empty list, not a 404 —
+// the router fans this call out to every shard and most see only a subset
+// of any given trace.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	trace, err := obs.ParseTraceID(r.PathValue("trace"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad trace id: %v", err)
+		return
+	}
+	spans := s.tracer.Spans(trace)
+	s.writeJSON(w, http.StatusOK, SpansResponse{Trace: trace.String(), Count: len(spans), Spans: spans})
+}
+
+// handleSlow serves the ring of slowest request traces, slowest first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, SlowResponse{Slowest: s.slow.List()})
 }
 
 // handleTrace resolves a matrix handle to its decision trace. 404 separates
@@ -554,6 +701,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if selCfg.TraceLabel == "" {
 		selCfg.TraceLabel = req.Name
 	}
+	// Selector stage spans (stage0/stage1/features/decide/convert) land in
+	// the shard's span store, parented under whatever request span was
+	// current when the pipeline fired (see SetSpanParent in handleSpMV/Solve).
+	selCfg.SpanSink = s.tracer.Record
 	ad := core.NewAdaptive(csr, tol, s.Predictors(), selCfg, !s.cfg.SerialKernels)
 	rows, cols := csr.Dims()
 	h := &Handle{
@@ -573,7 +724,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusRequestEntityTooLarge, "%v", err)
 		return
 	}
-	s.log.Info("matrix registered",
+	s.reqLog(w).Info("matrix registered",
 		"id", h.ID, "name", h.Name, "rows", h.Rows, "cols", h.Cols,
 		"nnz", h.NNZ, "evicted", len(evicted))
 	info := s.info(h)
@@ -668,6 +819,12 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 	// so a background conversion that finished since the last request is
 	// installed here, atomically under the handle lock.
 	h.SA.SwapPoint()
+	sc, traced := obs.SpanFromContext(r.Context())
+	traceHex := ""
+	if traced {
+		h.SA.SetSpanParent(sc)
+		traceHex = sc.Trace.String()
+	}
 	ys := make([][]float64, len(req.X))
 	bufs := make([]*[]float64, len(req.X))
 	for i := range bufs {
@@ -681,11 +838,27 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 			putVec(b)
 		}
 	}()
+	waitStart := time.Now()
 	wait := timing.StartStopwatch(nil)
 	err := s.pool.Do(r.Context(), func() error {
 		s.metrics.QueueWaitSeconds.Observe(wait.Seconds())
+		s.recordSpan(sc, "queue.wait", waitStart, wait.Seconds())
+		// A router-driven partial product forwards the solve loop's progress
+		// indicator so the shard-side selector pipeline advances: without
+		// it a shard that only ever sees gather fan-out would never open
+		// its lazy gate.
+		if req.Progress != nil {
+			h.SA.RecordProgress(*req.Progress)
+		}
+		computeStart := time.Now()
 		compute := timing.StartStopwatch(nil)
-		defer func() { s.metrics.SpMVSeconds.Observe(compute.Seconds()) }()
+		defer func() {
+			secs := compute.Seconds()
+			s.metrics.SpMVSeconds.ObserveExemplar(secs, traceHex)
+			s.recordSpan(sc, "spmv.compute", computeStart, secs,
+				[2]string{"format", h.SA.Format().String()},
+				[2]string{"vectors", strconv.Itoa(len(req.X))})
+		}()
 		for i, x := range req.X {
 			if err := r.Context().Err(); err != nil {
 				return err
@@ -769,17 +942,32 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	hook := func(_ int, p float64) { h.SA.RecordProgress(p) }
+	sc, traced := obs.SpanFromContext(r.Context())
+	traceHex := ""
+	if traced {
+		h.SA.SetSpanParent(sc)
+		traceHex = sc.Trace.String()
+	}
 
 	var (
-		res   apps.Result
-		eig   *float64
-		start = time.Now()
-		wait  = timing.StartStopwatch(nil)
+		res       apps.Result
+		eig       *float64
+		start     = time.Now()
+		waitStart = time.Now()
+		wait      = timing.StartStopwatch(nil)
 	)
 	err := s.pool.Do(ctx, func() error {
 		s.metrics.QueueWaitSeconds.Observe(wait.Seconds())
+		s.recordSpan(sc, "queue.wait", waitStart, wait.Seconds())
+		computeStart := time.Now()
 		compute := timing.StartStopwatch(nil)
-		defer func() { s.metrics.SolveSeconds.Observe(compute.Seconds()) }()
+		defer func() {
+			secs := compute.Seconds()
+			s.metrics.SolveSeconds.ObserveExemplar(secs, traceHex)
+			s.recordSpan(sc, "solve.compute", computeStart, secs,
+				[2]string{"app", req.App},
+				[2]string{"format", h.SA.Format().String()})
+		}()
 		var err error
 		switch req.App {
 		case "cg":
