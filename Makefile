@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/... ./internal/core/... ./internal/retrain/... ./internal/obs/... ./internal/parallel/... ./internal/sparse/... ./internal/vec/... ./internal/features/... ./internal/arima/... ./internal/gbt/... ./internal/apps/... ./internal/check/...
+	$(GO) test -race ./internal/server/... ./internal/convcache/... ./internal/cluster/... ./internal/core/... ./internal/retrain/... ./internal/obs/... ./internal/parallel/... ./internal/sparse/... ./internal/vec/... ./internal/features/... ./internal/arima/... ./internal/gbt/... ./internal/apps/... ./internal/check/...
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +21,7 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/parallel/
-	$(GO) run ./cmd/ocsbench -async -out BENCH_spmv.json
+	$(GO) run ./cmd/ocsbench -async -spmm 4,16 -out BENCH_spmv.json
 
 # Diff a fresh (unwritten) bench run against the checked-in baseline; exits
 # nonzero on >25% dispatch/SpMV regressions. Advisory in CI — absolute

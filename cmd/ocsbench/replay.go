@@ -4,7 +4,7 @@ package main
 // ocsd or ocsrouter:
 //
 //	go run ./cmd/ocsbench replay -target http://localhost:8080 \
-//	    -rate 50 -duration 10s -mix spmv=8,solve=1,register=1
+//	    -rate 50 -duration 10s -mix spmv=6,spmm=2,solve=1,register=1
 //
 // Open-loop means arrivals follow a fixed schedule (Poisson or fixed-rate)
 // computed before the run: a slow server does not slow the arrival process
@@ -150,9 +150,9 @@ func parseMix(s string) ([]mixEntry, error) {
 			w = v
 		}
 		switch op {
-		case "spmv", "solve", "register":
+		case "spmv", "spmm", "solve", "register":
 		default:
-			return nil, fmt.Errorf("unknown mix op %q (want spmv, solve or register)", op)
+			return nil, fmt.Errorf("unknown mix op %q (want spmv, spmm, solve or register)", op)
 		}
 		if w > 0 {
 			mix = append(mix, mixEntry{op: op, weight: w})
@@ -251,6 +251,7 @@ func replayObjectives() []obs.Objective {
 	return []obs.Objective{
 		{Endpoint: "register", LatencyTarget: 2, Target: 0.99},
 		{Endpoint: "spmv", LatencyTarget: 0.25, Target: 0.99},
+		{Endpoint: "spmm", LatencyTarget: 1, Target: 0.99},
 		{Endpoint: "solve", LatencyTarget: 5, Target: 0.95},
 	}
 }
@@ -321,7 +322,7 @@ func replayMain(args []string) {
 	conns := fs.Int("conns", 4, "concurrent connections issuing the schedule")
 	arrival := fs.String("arrival", "poisson", "arrival process: poisson or fixed")
 	seed := fs.Int64("seed", 1, "seed for the arrival schedule and op mix")
-	mixStr := fs.String("mix", "spmv=8,solve=1,register=1", "endpoint mix as op=weight[,op=weight...]")
+	mixStr := fs.String("mix", "spmv=6,spmm=2,solve=1,register=1", "endpoint mix as op=weight[,op=weight...]")
 	size := fs.Int("size", 400, "dimension of the pre-registered workload matrix")
 	degree := fs.Int("degree", 8, "row degree of the workload matrix")
 	out := fs.String("out", "BENCH_replay.json", "output JSON path (empty = don't write)")
@@ -510,6 +511,13 @@ func (c *replayClient) issue(i int, op string) (string, error) {
 		return c.post("/v1/matrices", c.registerBody(fmt.Sprintf("replay-%d", i), c.seed+int64(i)+100), nil)
 	case "spmv":
 		return c.post("/v1/matrices/"+c.handle+"/spmv", map[string]any{"x": [][]float64{c.x}}, nil)
+	case "spmm":
+		// A blocked 4-vector product: the batched counterpart of the spmv op.
+		xs := make([][]float64, 4)
+		for j := range xs {
+			xs[j] = c.x
+		}
+		return c.post("/v1/matrices/"+c.handle+"/spmm", map[string]any{"x": xs}, nil)
 	case "solve":
 		return c.post("/v1/matrices/"+c.handle+"/solve", map[string]any{
 			"app": "jacobi", "tol": 1e-10, "max_iters": 40,

@@ -9,6 +9,7 @@
 //	GET    /v1/matrices           list handles
 //	GET    /v1/matrices/{id}      stats: format, selector decisions, overhead seconds
 //	POST   /v1/matrices/{id}/spmv batched y = A*x
+//	POST   /v1/matrices/{id}/spmm blocked Y = A*X (k dense vectors, one matrix pass)
 //	POST   /v1/matrices/{id}/solve CG/PCG/BiCGSTAB/GMRES/Jacobi/power/PageRank
 //	GET    /v1/trace/{id}         the handle's decision trace + live T_affected ledger
 //	DELETE /v1/matrices/{id}      unregister
@@ -60,6 +61,7 @@ func main() {
 		train        = flag.Bool("train", false, "train default predictors at startup")
 		seed         = flag.Int64("seed", 42, "training corpus seed (with -train)")
 		maxNNZ       = flag.Int64("max-nnz", 50_000_000, "registry capacity in total stored nonzeros")
+		convCacheNNZ = flag.Int64("conv-cache-nnz", 0, "cross-handle conversion cache capacity in stored nonzeros (0 = half of -max-nnz, negative = disabled)")
 		workers      = flag.Int("workers", parallel.Workers(), "max concurrent SpMV/solve jobs")
 		queue        = flag.Int("queue", 0, "admission queue depth (0 = 4x workers, negative = none)")
 		solveTimeout = flag.Duration("timeout", 60*time.Second, "default solve timeout")
@@ -117,6 +119,7 @@ func main() {
 	}
 	srv := server.New(server.Config{
 		MaxRegistryNNZ:      *maxNNZ,
+		ConvCacheNNZ:        *convCacheNNZ,
 		Workers:             *workers,
 		QueueDepth:          *queue,
 		DefaultSolveTimeout: *solveTimeout,

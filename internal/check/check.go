@@ -133,6 +133,16 @@ func CheckSpMV(a *sparse.CSR, m sparse.Matrix) error {
 // CheckSpMM verifies the CSR SpMM kernels (serial and parallel) against k
 // independent reference SpMV sweeps.
 func CheckSpMM(a *sparse.CSR, k int) error {
+	return CheckSpMMFormat(a, a, k)
+}
+
+// CheckSpMMFormat verifies m's blocked multi-vector product — its native
+// kernel when the format implements sparse.SpMMer, the dispatcher's
+// column-at-a-time fallback otherwise, serial and parallel both — against k
+// independent reference SpMV sweeps on a. Each output column must land
+// within the same reordering bound as a lone SpMV of the matching input
+// column: blocking amortizes matrix traffic, it must not change the math.
+func CheckSpMMFormat(a *sparse.CSR, m sparse.Matrix, k int) error {
 	rows, cols := a.Dims()
 	x := make([]float64, cols*k)
 	for i := range x {
@@ -142,12 +152,13 @@ func CheckSpMM(a *sparse.CSR, k int) error {
 		}
 	}
 	y := make([]float64, rows*k)
-	a.SpMM(y, x, k)
-	if err := checkSpMMColumns(a, "SpMM", y, x, k); err != nil {
+	sparse.SpMM(m, y, x, k)
+	if err := checkSpMMColumns(a, fmt.Sprintf("%v SpMM", m.Format()), y, x, k); err != nil {
 		return err
 	}
-	a.SpMMParallel(y, x, k)
-	return checkSpMMColumns(a, "SpMMParallel", y, x, k)
+	// Reuse y unzeroed: blocked kernels must overwrite, not accumulate.
+	sparse.SpMMParallel(m, y, x, k)
+	return checkSpMMColumns(a, fmt.Sprintf("%v SpMMParallel", m.Format()), y, x, k)
 }
 
 // checkSpMMColumns verifies each of the k columns of y = A·X against the
@@ -272,7 +283,9 @@ type Options struct {
 	Workers []int
 	// Formats lists the formats to verify; empty means sparse.AllFormats.
 	Formats []sparse.Format
-	// SpMMColumns is the column count of the SpMM check; 0 disables it.
+	// SpMMColumns is the column count of the blocked SpMM check, applied to
+	// every format's kernel (native or fallback) at every worker count plus
+	// the CSR reference; 0 disables it.
 	SpMMColumns int
 }
 
@@ -329,6 +342,11 @@ func CheckFormat(a *sparse.CSR, f sparse.Format, opt Options) (bool, error) {
 		}
 		if err := CheckSpMV(a, m); err != nil {
 			return true, fmt.Errorf("%v at %d workers: %w", f, w, err)
+		}
+		if opt.SpMMColumns > 0 {
+			if err := CheckSpMMFormat(a, m, opt.SpMMColumns); err != nil {
+				return true, fmt.Errorf("%v at %d workers: %w", f, w, err)
+			}
 		}
 	}
 	return true, nil

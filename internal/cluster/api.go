@@ -89,6 +89,13 @@ type SpMVResponse struct {
 	ServedBy []string `json:"served_by"`
 }
 
+// SpMMResponse is the router's spmm body: the shard (or router-gathered)
+// blocked multi-vector product plus which shards computed it.
+type SpMMResponse struct {
+	server.SpMMResponse
+	ServedBy []string `json:"served_by"`
+}
+
 // SolveResponse is the router's solve body: the shard (or router-gathered)
 // response plus which shards served it.
 type SolveResponse struct {

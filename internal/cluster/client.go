@@ -228,6 +228,14 @@ func (c *ShardClient) SpMV(ctx context.Context, id string, req server.SpMVReques
 	return resp, err
 }
 
+// SpMM runs a blocked (possibly partial-row) multi-vector product on the
+// shard.
+func (c *ShardClient) SpMM(ctx context.Context, id string, req server.SpMMRequest) (server.SpMMResponse, error) {
+	var resp server.SpMMResponse
+	err := c.do(ctx, http.MethodPost, "/v1/matrices/"+url.PathEscape(id)+"/spmm", req, &resp)
+	return resp, err
+}
+
 // Solve runs a solver on the shard.
 func (c *ShardClient) Solve(ctx context.Context, id string, req server.SolveRequest) (server.SolveResponse, error) {
 	var resp server.SolveResponse

@@ -16,6 +16,7 @@ type Metrics struct {
 	RequestErrors    atomic.Int64 // requests answered 4xx/5xx
 	RegisterRequests atomic.Int64
 	SpMVRequests     atomic.Int64
+	SpMMRequests     atomic.Int64
 	SolveRequests    atomic.Int64
 
 	// Placement/balancing outcomes.
@@ -23,12 +24,14 @@ type Metrics struct {
 	ReplicaHits     atomic.Int64 // reads served by a replica copy
 	Failovers       atomic.Int64 // per-request shard switches after a retryable failure
 	Replications    atomic.Int64 // hot handles copied onto an additional shard
+	ReplicaAliases  atomic.Int64 // replications the target shard dedup-aliased (identical matrix already resident)
 	Rebalances      atomic.Int64 // handles re-homed off a draining shard
 	PartialFanouts  atomic.Int64 // distributed SpMV gathers (one per batched request... per SpMV call)
 	PartitionedRegs atomic.Int64 // registrations that row-partitioned
 
 	// Router-side end-to-end latency (includes shard round trips).
 	SpMVSeconds  *obs.Histogram
+	SpMMSeconds  *obs.Histogram
 	SolveSeconds *obs.Histogram
 
 	mu sync.Mutex
@@ -42,6 +45,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		SpMVSeconds:  obs.NewLatencyHistogram(),
+		SpMMSeconds:  obs.NewLatencyHistogram(),
 		SolveSeconds: obs.NewLatencyHistogram(),
 		shardSeconds: make(map[string]*obs.Histogram),
 		shardErrors:  make(map[string]*atomic.Int64),
@@ -75,11 +79,13 @@ func (m *Metrics) Families(shards []*ShardClient, extra ...obs.Family) []obs.Fam
 		obs.ScalarFamily("ocsrouter_request_errors_total", "Requests answered with a 4xx/5xx status.", obs.KindCounter, float64(m.RequestErrors.Load())),
 		obs.ScalarFamily("ocsrouter_register_requests_total", "Matrix registrations routed.", obs.KindCounter, float64(m.RegisterRequests.Load())),
 		obs.ScalarFamily("ocsrouter_spmv_requests_total", "SpMV requests routed.", obs.KindCounter, float64(m.SpMVRequests.Load())),
+		obs.ScalarFamily("ocsrouter_spmm_requests_total", "Blocked SpMM requests routed.", obs.KindCounter, float64(m.SpMMRequests.Load())),
 		obs.ScalarFamily("ocsrouter_solve_requests_total", "Solve requests routed.", obs.KindCounter, float64(m.SolveRequests.Load())),
 		obs.ScalarFamily("ocsrouter_primary_hits_total", "Reads served by a handle's primary copy.", obs.KindCounter, float64(m.PrimaryHits.Load())),
 		obs.ScalarFamily("ocsrouter_replica_hits_total", "Reads served by a replica copy.", obs.KindCounter, float64(m.ReplicaHits.Load())),
 		obs.ScalarFamily("ocsrouter_failovers_total", "Requests retried on another copy after a retryable shard failure.", obs.KindCounter, float64(m.Failovers.Load())),
 		obs.ScalarFamily("ocsrouter_replications_total", "Hot handles replicated onto an additional shard.", obs.KindCounter, float64(m.Replications.Load())),
+		obs.ScalarFamily("ocsrouter_replica_aliases_total", "Replications the target shard dedup-aliased instead of storing a second copy.", obs.KindCounter, float64(m.ReplicaAliases.Load())),
 		obs.ScalarFamily("ocsrouter_rebalances_total", "Handles re-homed off a draining shard.", obs.KindCounter, float64(m.Rebalances.Load())),
 		obs.ScalarFamily("ocsrouter_partial_fanouts_total", "Distributed SpMV fan-out/gather operations.", obs.KindCounter, float64(m.PartialFanouts.Load())),
 		obs.ScalarFamily("ocsrouter_partitioned_registers_total", "Registrations placed as row-partitioned blocks.", obs.KindCounter, float64(m.PartitionedRegs.Load())),
@@ -110,6 +116,7 @@ func (m *Metrics) Families(shards []*ShardClient, extra ...obs.Family) []obs.Fam
 
 	fams = append(fams,
 		obs.HistFamily("ocsrouter_spmv_seconds", "End-to-end router time for spmv requests, shard round trips included.", m.SpMVSeconds.Snapshot()),
+		obs.HistFamily("ocsrouter_spmm_seconds", "End-to-end router time for spmm requests, shard round trips included.", m.SpMMSeconds.Snapshot()),
 		obs.HistFamily("ocsrouter_solve_seconds", "End-to-end router time for solve requests, shard round trips included.", m.SolveSeconds.Snapshot()),
 	)
 
@@ -177,11 +184,13 @@ func (m *Metrics) Snapshot(shards []*ShardClient) map[string]any {
 		"request_errors":        m.RequestErrors.Load(),
 		"register_requests":     m.RegisterRequests.Load(),
 		"spmv_requests":         m.SpMVRequests.Load(),
+		"spmm_requests":         m.SpMMRequests.Load(),
 		"solve_requests":        m.SolveRequests.Load(),
 		"primary_hits":          m.PrimaryHits.Load(),
 		"replica_hits":          m.ReplicaHits.Load(),
 		"failovers":             m.Failovers.Load(),
 		"replications":          m.Replications.Load(),
+		"replica_aliases":       m.ReplicaAliases.Load(),
 		"rebalances":            m.Rebalances.Load(),
 		"partial_fanouts":       m.PartialFanouts.Load(),
 		"partitioned_registers": m.PartitionedRegs.Load(),

@@ -67,6 +67,7 @@ func DefaultSLOs() []obs.Objective {
 	return []obs.Objective{
 		{Endpoint: "register", LatencyTarget: 5, Target: 0.99},
 		{Endpoint: "spmv", LatencyTarget: 0.5, Target: 0.99},
+		{Endpoint: "spmm", LatencyTarget: 1, Target: 0.99},
 		{Endpoint: "solve", LatencyTarget: 10, Target: 0.95},
 	}
 }
@@ -114,6 +115,7 @@ type route struct {
 	nnz         int
 	tol         float64
 	fingerprint string
+	valueDigest string
 	duplicateOf string
 	transition  bool
 	// dangling and diag are kept router-side for partitioned handles: the
@@ -209,6 +211,7 @@ func New(cfg Config) (*Router, error) {
 	r.mux.Handle("GET /v1/matrices/{id}", r.track("get", r.handleGet))
 	r.mux.Handle("DELETE /v1/matrices/{id}", r.track("delete", r.handleDelete))
 	r.mux.Handle("POST /v1/matrices/{id}/spmv", r.track("spmv", r.handleSpMV))
+	r.mux.Handle("POST /v1/matrices/{id}/spmm", r.track("spmm", r.handleSpMM))
 	r.mux.Handle("POST /v1/matrices/{id}/solve", r.track("solve", r.handleSolve))
 
 	r.wg.Add(1)
@@ -725,6 +728,7 @@ func (r *Router) registerWhole(w http.ResponseWriter, req *http.Request, id stri
 		nnz:         info.NNZ,
 		tol:         info.Tol,
 		fingerprint: info.Fingerprint,
+		valueDigest: info.ValueDigest,
 		transition:  info.Transition,
 		primary:     shardRef{shard: sc, remoteID: info.ID},
 	}
@@ -801,6 +805,7 @@ func (r *Router) registerPartitioned(w http.ResponseWriter, req *http.Request, i
 		nnz:         csr.NNZ(),
 		tol:         tol,
 		fingerprint: csr.Fingerprint(),
+		valueDigest: csr.ValueDigest(),
 		transition:  dangling != nil,
 		dangling:    dangling,
 		diag:        diagonal(csr),
@@ -1134,6 +1139,147 @@ func (r *Router) gather(ctx context.Context, rt *route, xs [][]float64, progress
 	return ys, served, nil
 }
 
+// ---- spmm ----
+
+func (r *Router) handleSpMM(w http.ResponseWriter, req *http.Request) {
+	rt, ok := r.lookup(w, req)
+	if !ok {
+		return
+	}
+	var body server.SpMMRequest
+	if !r.decode(w, req, &body) {
+		return
+	}
+	if len(body.X) == 0 {
+		r.fail(w, http.StatusBadRequest, "x must hold at least one vector")
+		return
+	}
+	for i, x := range body.X {
+		if len(x) != rt.cols {
+			r.fail(w, http.StatusBadRequest, "x[%d] has length %d, matrix has %d columns", i, len(x), rt.cols)
+			return
+		}
+	}
+	r.metrics.SpMMRequests.Add(1)
+	start := time.Now()
+	traceHex := ""
+	if sc, ok := obs.SpanFromContext(req.Context()); ok {
+		traceHex = sc.Trace.String()
+	}
+	defer func() { r.metrics.SpMMSeconds.ObserveExemplar(time.Since(start).Seconds(), traceHex) }()
+
+	if rt.partitioned {
+		if body.RowLo != 0 || body.RowHi != 0 {
+			r.fail(w, http.StatusBadRequest, "row_lo/row_hi are not supported on partitioned handles")
+			return
+		}
+		ys, served, err := r.gatherSpMM(req.Context(), rt, body.X, body.Progress)
+		if err != nil {
+			r.failShard(w, err)
+			return
+		}
+		rt.mu.Lock()
+		rt.spmvCalls += int64(len(body.X))
+		rt.mu.Unlock()
+		r.writeJSON(w, http.StatusOK, SpMMResponse{
+			SpMMResponse: server.SpMMResponse{Y: ys, K: len(body.X), Format: "distributed"},
+			ServedBy:     served,
+		})
+		return
+	}
+
+	attempts, primary := rt.spmvCopies()
+	var lastErr error
+	for i, ref := range attempts {
+		if i > 0 {
+			r.metrics.Failovers.Add(1)
+		}
+		ref := ref
+		resp, err := callShard(r, req.Context(), "spmm", ref.shard, func(ctx context.Context) (server.SpMMResponse, error) {
+			return ref.shard.SpMM(ctx, ref.remoteID, body)
+		})
+		if err != nil {
+			lastErr = err
+			if !Retryable(err) {
+				break
+			}
+			continue
+		}
+		if ref.shard == primary.shard && ref.remoteID == primary.remoteID {
+			r.metrics.PrimaryHits.Add(1)
+		} else {
+			r.metrics.ReplicaHits.Add(1)
+		}
+		rt.mu.Lock()
+		rt.spmvCalls += int64(len(body.X))
+		rt.mu.Unlock()
+		r.maybeReplicate(rt)
+		r.writeJSON(w, http.StatusOK, SpMMResponse{SpMMResponse: resp, ServedBy: []string{ref.shard.Name()}})
+		return
+	}
+	r.failShard(w, lastErr)
+}
+
+// gatherSpMM runs the distributed blocked product: the full k-column operand
+// goes to every row block in parallel, each shard runs its blocked kernel
+// over its rows, and the router scatters the returned row panels. As with
+// gather, every output row is summed entirely on one shard, so the result is
+// bit-identical to the single-process blocked product regardless of the cut.
+func (r *Router) gatherSpMM(ctx context.Context, rt *route, xs [][]float64, progress *float64) ([][]float64, []string, error) {
+	rt.mu.Lock()
+	parts := append([]partRef(nil), rt.parts...)
+	rows := rt.rows
+	rt.mu.Unlock()
+
+	ys := make([][]float64, len(xs))
+	for i := range ys {
+		ys[i] = make([]float64, rows)
+	}
+	served := make([]string, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for pi := range parts {
+		wg.Add(1)
+		go func(pi int, p partRef) {
+			defer wg.Done()
+			served[pi] = p.shard.Name()
+			var resp server.SpMMResponse
+			var err error
+			for attempt := 0; attempt < 2; attempt++ {
+				resp, err = callShard(r, ctx, "spmm", p.shard, func(ctx context.Context) (server.SpMMResponse, error) {
+					return p.shard.SpMM(ctx, p.remoteID, server.SpMMRequest{X: xs, Progress: progress})
+				})
+				if err == nil || !Retryable(err) {
+					break
+				}
+			}
+			if err != nil {
+				errs[pi] = fmt.Errorf("block [%d,%d) on %s: %w", p.lo, p.hi, p.shard.Name(), err)
+				return
+			}
+			if len(resp.Y) != len(xs) {
+				errs[pi] = fmt.Errorf("block [%d,%d) returned %d vectors, want %d", p.lo, p.hi, len(resp.Y), len(xs))
+				return
+			}
+			for vi, y := range resp.Y {
+				if len(y) != p.hi-p.lo {
+					errs[pi] = fmt.Errorf("block [%d,%d) returned %d rows", p.lo, p.hi, len(y))
+					return
+				}
+				copy(ys[vi][p.lo:p.hi], y)
+			}
+		}(pi, parts[pi])
+	}
+	wg.Wait()
+	r.metrics.PartialFanouts.Add(1)
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return ys, served, nil
+}
+
 // ---- replication ----
 
 // maybeReplicate kicks off a background copy of a hot whole handle onto the
@@ -1182,12 +1328,25 @@ func (r *Router) replicate(rt *route) {
 	id := rt.id
 	rt.mu.Unlock()
 
-	var target *ShardClient
+	// Prefer a shard that already hosts an identical matrix through another
+	// route: its registry dedups the registration into an alias of the
+	// resident copy, so the replica costs the target nothing but a handle.
+	prefer := r.aliasTargets(rt)
+	var target, fallback *ShardClient
 	for _, sc := range r.successorClients(id, len(r.shardList())) {
-		if !hosting[sc.Name()] && sc.Healthy() {
+		if hosting[sc.Name()] || !sc.Healthy() {
+			continue
+		}
+		if prefer[sc.Name()] {
 			target = sc
 			break
 		}
+		if fallback == nil {
+			fallback = sc
+		}
+	}
+	if target == nil {
+		target = fallback
 	}
 	if target == nil {
 		done(false)
@@ -1221,7 +1380,44 @@ func (r *Router) replicate(rt *route) {
 	copies := 1 + len(rt.replicas)
 	rt.mu.Unlock()
 	done(true)
-	r.log.Info("handle replicated", "id", id, "target", target.Name(), "remote_id", info.ID, "copies", copies)
+	if info.DuplicateOf != "" {
+		r.metrics.ReplicaAliases.Add(1)
+	}
+	r.log.Info("handle replicated", "id", id, "target", target.Name(), "remote_id", info.ID,
+		"copies", copies, "aliased", info.DuplicateOf != "")
+}
+
+// aliasTargets returns the shards hosting, via some other route, a whole
+// copy of the same matrix as rt (same structure fingerprint AND value
+// digest). Registering rt's replica on one of them dedup-aliases the
+// resident arrays instead of storing a second copy.
+func (r *Router) aliasTargets(rt *route) map[string]bool {
+	rt.mu.Lock()
+	fp, vd := rt.fingerprint, rt.valueDigest
+	rt.mu.Unlock()
+	out := map[string]bool{}
+	if fp == "" || vd == "" {
+		return out
+	}
+	r.mu.Lock()
+	others := make([]*route, 0, len(r.routes))
+	for _, other := range r.routes {
+		if other != rt {
+			others = append(others, other)
+		}
+	}
+	r.mu.Unlock()
+	for _, other := range others {
+		other.mu.Lock()
+		if !other.partitioned && other.fingerprint == fp && other.valueDigest == vd {
+			out[other.primary.shard.Name()] = true
+			for _, rep := range other.replicas {
+				out[rep.shard.Name()] = true
+			}
+		}
+		other.mu.Unlock()
+	}
+	return out
 }
 
 // ---- solve ----
@@ -1475,6 +1671,8 @@ func (r *Router) aggregateSelector(ctx context.Context, parts []partRef) (server
 		agg.Pending = agg.Pending || st.Pending
 		agg.PaidSeconds += st.PaidSeconds
 		agg.HiddenSeconds += st.HiddenSeconds
+		agg.SpMMCalls += st.SpMMCalls
+		agg.ConvCacheHit = agg.ConvCacheHit || st.ConvCacheHit
 		if !seen[st.Format] {
 			seen[st.Format] = true
 			formats = append(formats, st.Format)

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/convcache"
 	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/sparse"
@@ -18,6 +19,14 @@ type Stats struct {
 	// SpMVCalls is the total number of SpMV calls the wrapper has served,
 	// before and after the pipeline decision.
 	SpMVCalls int64
+	// SpMMCalls is the total number of blocked multi-vector products served.
+	// When they dominate SpMV calls at decision time and the bundle carries
+	// SpMM cost models, stage 2 prices candidates with the SpMM menu.
+	SpMMCalls int64
+	// ConvCacheHit reports that stage 2 adopted a conversion published by an
+	// earlier tenant instead of converting: ConvertSeconds stays 0 and the
+	// publisher's bill appears in HiddenSeconds.
+	ConvCacheHit bool
 	// Stage1Ran reports whether the lazy tripcount prediction fired.
 	Stage1Ran bool
 	// PredictedTotal is stage 1's tripcount estimate (0 if stage 1 never ran).
@@ -86,6 +95,10 @@ type Adaptive struct {
 	// judge whether stage 2's own cost can be amortized.
 	spmvSeconds float64
 	spmvCalls   int
+
+	// spmmK is the widest block width SpMM has been asked for; the SpMM
+	// menu prices candidates at this width.
+	spmmK int
 
 	// Decision-journal state: once the pipeline has run with a journal
 	// attached, traceID addresses this wrapper's obs.DecisionTrace and
@@ -185,6 +198,39 @@ func (ad *Adaptive) run(y, x []float64) {
 		ad.cur.SpMVParallel(y, x)
 	} else {
 		ad.cur.SpMV(y, x)
+	}
+}
+
+// SpMM computes the blocked product Y = A*X with k row-major right-hand
+// sides on whichever format the matrix currently has, through the sparse
+// package dispatcher (native blocked kernel where the format provides one).
+// Counting these calls is what steers stage 2 onto the SpMM cost menu for
+// multi-vector-dominant handles; post-decision calls feed the T_affected
+// ledger per column, the unit the decision was priced in.
+func (ad *Adaptive) SpMM(y, x []float64, k int) {
+	ad.stats.SpMMCalls++
+	if k > ad.spmmK {
+		ad.spmmK = k
+	}
+	if !ad.ledger {
+		ad.runSpMM(y, x, k)
+		return
+	}
+	start := ad.clock.Now()
+	ad.runSpMM(y, x, k)
+	elapsed := timing.Since(ad.clock, start).Seconds()
+	if !ad.cfg.Journal.Update(ad.traceID, func(t *obs.DecisionTrace) {
+		t.Ledger.RecordPost(elapsed / float64(k))
+	}) {
+		ad.ledger = false // trace evicted: stop paying for timing
+	}
+}
+
+func (ad *Adaptive) runSpMM(y, x []float64, k int) {
+	if ad.parallel {
+		sparse.SpMMParallel(ad.cur, y, x, k)
+	} else {
+		sparse.SpMM(ad.cur, y, x, k)
 	}
 }
 
@@ -313,8 +359,14 @@ func (ad *Adaptive) runStage2Inline(tr *obs.DecisionTrace, remaining int) {
 	ad.stats.FeatureSeconds = timing.Since(ad.clock, start).Seconds()
 	ad.noteSpan("selector.features", start, ad.stats.FeatureSeconds, [2]string{"mode", "paid"})
 
+	cached := cachedFormats(&ad.cfg)
 	start = ad.clock.Now()
-	d := ad.preds.Decide(fs, bsrBlocks, float64(remaining), ad.cfg.Lim, ad.cfg.Margin)
+	var d Decision
+	if ad.preds.HasSpMMMenu() && ad.stats.SpMMCalls > ad.stats.SpMVCalls && ad.spmmK > 0 {
+		d = ad.preds.DecideSpMM(fs, bsrBlocks, ad.spmmK, float64(remaining), 0, ad.cfg.Lim, ad.cfg.Margin, cached)
+	} else {
+		d = ad.preds.DecideOverlapCached(fs, bsrBlocks, float64(remaining), 0, ad.cfg.Lim, ad.cfg.Margin, cached)
+	}
 	decide := timing.Since(ad.clock, start).Seconds()
 	ad.stats.PredictSeconds += decide
 	ad.noteSpan("selector.decide", start, decide,
@@ -330,6 +382,35 @@ func (ad *Adaptive) runStage2Inline(tr *obs.DecisionTrace, remaining int) {
 		return
 	}
 
+	// Conversion-cache consult: an earlier tenant may have already paid for
+	// this exact (structure, values, format) conversion. A hit adopts the
+	// shared matrix — zero conversion work on this handle; the publisher's
+	// bill is credited as hidden overhead so the ledger stays honest about
+	// the machine work that once happened.
+	if cacheUsable(&ad.cfg) {
+		key := cacheKeyFor(&ad.cfg, d.Format)
+		start = ad.clock.Now()
+		e, hit := ad.cfg.ConvCache.Lookup(key)
+		lookup := timing.Since(ad.clock, start).Seconds()
+		ad.stats.PredictSeconds += lookup
+		if hit {
+			ad.stats.ConvCacheHit = true
+			ad.stats.HiddenSeconds += e.ConvertSeconds
+			ad.stats.PaidSeconds = ad.OverheadSeconds()
+			ad.noteSpan("convcache.hit", start, lookup,
+				[2]string{"format", d.Format.String()},
+				[2]string{"hidden_seconds", strconv.FormatFloat(e.ConvertSeconds, 'g', -1, 64)})
+			ad.cur = e.M
+			ad.stats.Converted = true
+			ad.stats.Format = d.Format
+			tr.Converted = true
+			tr.ConvCacheHit = true
+			ad.finishTrace(tr, d)
+			return
+		}
+		ad.noteSpan("convcache.miss", start, lookup, [2]string{"format", d.Format.String()})
+	}
+
 	start = ad.clock.Now()
 	m, err := sparse.ConvertFromCSR(ad.csr, d.Format, ad.cfg.Lim)
 	ad.stats.ConvertSeconds = timing.Since(ad.clock, start).Seconds()
@@ -342,6 +423,13 @@ func (ad *Adaptive) runStage2Inline(tr *obs.DecisionTrace, remaining int) {
 		tr.Chosen = sparse.FmtCSR.String()
 		ad.finishTrace(tr, d)
 		return
+	}
+	if cacheUsable(&ad.cfg) {
+		ad.cfg.ConvCache.Publish(cacheKeyFor(&ad.cfg, d.Format), convcache.Entry{
+			M: m, ConvertSeconds: ad.stats.ConvertSeconds, NNZ: m.NNZ(),
+		})
+		ad.noteSpan("convcache.publish", start, ad.stats.ConvertSeconds,
+			[2]string{"format", d.Format.String()})
 	}
 	ad.cur = m
 	ad.stats.Converted = true

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/convcache"
 	"repro/internal/features"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -32,6 +34,11 @@ type stage2Job struct {
 	canceled  atomic.Bool
 	done      chan struct{}
 
+	// Workload hints captured at launch, so the background decision prices
+	// candidates with the menu the caller's traffic actually exercises.
+	spmmDominant bool
+	spmmK        int
+
 	// Results, valid once done is closed.
 	d          Decision
 	decided    bool
@@ -42,11 +49,19 @@ type stage2Job struct {
 	convert    float64
 	fvec       []float64 // Table I vector for the journal, when one is kept
 	gen        int64     // generation of the bundle captured at launch
+	// Conversion-cache outcome: a hit means j.m was adopted from the shared
+	// cache (no conversion ran here) and cacheConvSeconds carries the
+	// publisher's bill, credited as hidden time at adoption.
+	cacheHit        bool
+	cacheConvSecs   float64
+	cacheLookupSecs float64
+	published       bool
 	// Phase start timestamps, so the spans emitted at adoption reflect
 	// when the hidden work actually ran.
 	featureAt time.Time
 	predictAt time.Time
 	convertAt time.Time
+	lookupAt  time.Time
 }
 
 // launchStage2 dispatches stage 2 to a background worker and returns
@@ -59,7 +74,11 @@ type stage2Job struct {
 // runs.
 func (ad *Adaptive) launchStage2(tr obs.DecisionTrace, remaining int) {
 	tr.Async = true
-	job := &stage2Job{tr: tr, remaining: remaining, done: make(chan struct{})}
+	job := &stage2Job{
+		tr: tr, remaining: remaining, done: make(chan struct{}),
+		spmmDominant: ad.stats.SpMMCalls > ad.stats.SpMVCalls,
+		spmmK:        ad.spmmK,
+	}
 	ad.pending = job
 	ad.stats.Async = true
 	csr, preds, cfg, clock := ad.csr, ad.preds, ad.cfg, ad.clock
@@ -87,9 +106,15 @@ func (j *stage2Job) run(csr *sparse.CSR, preds *Predictors, cfg Config, clock ti
 	if j.canceled.Load() {
 		return
 	}
+	cached := cachedFormats(&cfg)
 	start = clock.Now()
 	j.predictAt = start
-	d := preds.DecideOverlap(fs, bsrBlocks, float64(j.remaining), float64(j.remaining), cfg.Lim, cfg.Margin)
+	var d Decision
+	if preds.HasSpMMMenu() && j.spmmDominant && j.spmmK > 0 {
+		d = preds.DecideSpMM(fs, bsrBlocks, j.spmmK, float64(j.remaining), float64(j.remaining), cfg.Lim, cfg.Margin, cached)
+	} else {
+		d = preds.DecideOverlapCached(fs, bsrBlocks, float64(j.remaining), float64(j.remaining), cfg.Lim, cfg.Margin, cached)
+	}
 	j.predict = timing.Since(clock, start).Seconds()
 	j.d = d
 	j.decided = true
@@ -100,6 +125,18 @@ func (j *stage2Job) run(csr *sparse.CSR, preds *Predictors, cfg Config, clock ti
 	if d.Format == sparse.FmtCSR || j.canceled.Load() {
 		return
 	}
+	if cacheUsable(&cfg) {
+		start = clock.Now()
+		j.lookupAt = start
+		e, hit := cfg.ConvCache.Lookup(cacheKeyFor(&cfg, d.Format))
+		j.cacheLookupSecs = timing.Since(clock, start).Seconds()
+		if hit {
+			j.cacheHit = true
+			j.cacheConvSecs = e.ConvertSeconds
+			j.m = e.M
+			return
+		}
+	}
 	start = clock.Now()
 	j.convertAt = start
 	m, err := sparse.ConvertFromCSR(csr, d.Format, cfg.Lim)
@@ -107,6 +144,12 @@ func (j *stage2Job) run(csr *sparse.CSR, preds *Predictors, cfg Config, clock ti
 	if err != nil {
 		j.convertErr = err.Error()
 		return
+	}
+	if cacheUsable(&cfg) {
+		cfg.ConvCache.Publish(cacheKeyFor(&cfg, d.Format), convcache.Entry{
+			M: m, ConvertSeconds: j.convert, NNZ: m.NNZ(),
+		})
+		j.published = true
 	}
 	j.m = m
 }
@@ -183,7 +226,15 @@ func (ad *Adaptive) adopt(j *stage2Job) {
 	ad.stats.FeatureSeconds = j.feature
 	ad.stats.PredictSeconds += j.predict
 	ad.stats.ConvertSeconds = j.convert
-	ad.stats.HiddenSeconds += j.feature + j.predict + j.convert
+	ad.stats.HiddenSeconds += j.feature + j.predict + j.convert + j.cacheLookupSecs
+	if j.cacheHit {
+		// Adopted from the conversion cache: no conversion ran on this
+		// handle, but the publisher's machine work is real — credit it as
+		// hidden so T_affected accounting stays honest.
+		ad.stats.ConvCacheHit = true
+		ad.stats.HiddenSeconds += j.cacheConvSecs
+		tr.ConvCacheHit = true
+	}
 	// Hidden-mode stage spans: the work ran overlapped on a background
 	// worker, and its spans surface in the trace at adoption time.
 	if !j.featureAt.IsZero() {
@@ -196,6 +247,21 @@ func (ad *Adaptive) adopt(j *stage2Job) {
 	if !j.convertAt.IsZero() {
 		ad.noteSpan("selector.convert", j.convertAt, j.convert,
 			[2]string{"mode", "hidden"}, [2]string{"format", j.d.Format.String()})
+	}
+	if !j.lookupAt.IsZero() {
+		name := "convcache.miss"
+		if j.cacheHit {
+			name = "convcache.hit"
+		}
+		attrs := [][2]string{{"format", j.d.Format.String()}}
+		if j.cacheHit {
+			attrs = append(attrs, [2]string{"hidden_seconds", strconv.FormatFloat(j.cacheConvSecs, 'g', -1, 64)})
+		}
+		ad.noteSpan(name, j.lookupAt, j.cacheLookupSecs, attrs...)
+	}
+	if j.published {
+		ad.noteSpan("convcache.publish", j.convertAt, j.convert,
+			[2]string{"format", j.d.Format.String()})
 	}
 	if !j.decided {
 		// The job was canceled mid-flight before reaching the decision;

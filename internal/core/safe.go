@@ -37,6 +37,14 @@ func (s *SafeAdaptive) SpMV(y, x []float64) {
 	s.ad.SpMV(y, x)
 }
 
+// SpMM computes k blocked products Y = A*X under the handle lock. X and Y
+// are row-major panels (row j occupies x[j*k : j*k+k]).
+func (s *SafeAdaptive) SpMM(y, x []float64, k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ad.SpMM(y, x, k)
+}
+
 // Dims returns the matrix dimensions.
 func (s *SafeAdaptive) Dims() (int, int) {
 	s.mu.Lock()

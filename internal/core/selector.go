@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"repro/internal/arima"
+	"repro/internal/convcache"
 	"repro/internal/features"
 	"repro/internal/gbt"
 	"repro/internal/obs"
@@ -78,6 +79,17 @@ type Config struct {
 	// stage0_skip. The zero value disables it; DefaultStage0() enables it
 	// with conservative bands.
 	Stage0 Stage0
+	// ConvCache, when non-nil, is the cross-handle conversion cache: stage 2
+	// consults it before pricing candidates (a cached format's T_convert is
+	// zero, which can flip a stay decision into a convert), adopts a
+	// published matrix instead of converting on a hit — crediting the
+	// publisher's conversion seconds as hidden overhead in the ledger — and
+	// publishes its own conversion on a miss. CacheFingerprint and
+	// CacheValues identify this wrapper's matrix in the cache (structure
+	// hash and value digest); all three must be set for the cache to engage.
+	ConvCache        *convcache.Cache
+	CacheFingerprint string
+	CacheValues      string
 	// Lim bounds format conversions.
 	Lim sparse.Limits
 	// Tripcount configures the stage-1 ARIMA predictor.
@@ -130,6 +142,14 @@ func DefaultConfig() Config {
 type Predictors struct {
 	ConvTime map[sparse.Format]*gbt.Model
 	SpMVTime map[sparse.Format]*gbt.Model
+	// SpMMTime[f] predicts the per-column cost of a blocked multi-vector
+	// product in format f, T_spmm(f, k)/(k · T_spmv(CSR)) — trained at a
+	// reference k (trainer.SpMMRefK). Optional: bundles trained before the
+	// SpMM menu existed leave it empty and the selector falls back to the
+	// SpMV menu. CSR itself appears here (its blocked kernel is cheaper per
+	// column than a lone SpMV, so its per-column cost is a learned quantity,
+	// not the definitional 1).
+	SpMMTime map[sparse.Format]*gbt.Model
 	// Generation identifies the bundle's era: 0 for an offline-trained seed
 	// bundle, incremented by the online retrainer on every accepted
 	// hot-swap. Decision traces record the generation they were made with,
@@ -152,6 +172,9 @@ func (p *Predictors) Clone() *Predictors {
 	for f, m := range p.SpMVTime {
 		c.SpMVTime[f] = m
 	}
+	for f, m := range p.SpMMTime {
+		c.SpMMTime[f] = m
+	}
 	return c
 }
 
@@ -160,6 +183,7 @@ func NewPredictors() *Predictors {
 	return &Predictors{
 		ConvTime: make(map[sparse.Format]*gbt.Model),
 		SpMVTime: make(map[sparse.Format]*gbt.Model),
+		SpMMTime: make(map[sparse.Format]*gbt.Model),
 	}
 }
 
@@ -246,6 +270,18 @@ func (p *Predictors) Decide(s *features.Set, bsrBlocks int, remaining float64, l
 // bill. This is the paper's T_affected with the effective conversion cost
 // shrunk to max(0, T_convert − T_overlap).
 func (p *Predictors) DecideOverlap(s *features.Set, bsrBlocks int, remaining, overlap float64, lim sparse.Limits, margin float64) Decision {
+	return p.DecideOverlapCached(s, bsrBlocks, remaining, overlap, lim, margin, nil)
+}
+
+// DecideOverlapCached is DecideOverlap with conversion-cache knowledge:
+// formats present in cached have an already-published converted matrix for
+// this exact (structure, values) pair, so their effective T_convert is zero
+// — adoption is a map lookup. This is the cache changing the decision
+// itself: a format whose conversion bill would not amortize over the
+// remaining iterations becomes free and can win the argmin (the paper's
+// overhead-conscious gate, with the overhead removed by an earlier tenant
+// having paid it). nil cached means no cache, reproducing DecideOverlap.
+func (p *Predictors) DecideOverlapCached(s *features.Set, bsrBlocks int, remaining, overlap float64, lim sparse.Limits, margin float64, cached map[sparse.Format]bool) Decision {
 	x := s.Vector()
 	d := Decision{
 		Format:        sparse.FmtCSR,
@@ -275,6 +311,9 @@ func (p *Predictors) DecideOverlap(s *features.Set, bsrBlocks int, remaining, ov
 		if spmv < 0 {
 			spmv = 0
 		}
+		if cached[f] {
+			conv = 0
+		}
 		cost := overlapCost(conv, spmv, remaining, overlap)
 		d.PredictedCost[f] = cost
 		d.PredictedSpMV[f] = spmv
@@ -300,6 +339,92 @@ func overlapCost(conv, spmv, remaining, overlap float64) float64 {
 		h = remaining
 	}
 	return (conv - h) + h + (remaining-h)*spmv
+}
+
+// HasSpMMMenu reports whether the bundle carries blocked-SpMM cost models
+// (at least CSR's own, the menu's baseline).
+func (p *Predictors) HasSpMMMenu() bool {
+	return p != nil && p.SpMMTime[sparse.FmtCSR] != nil
+}
+
+// DecideSpMM is the cost-benefit menu for SpMM-dominant handles: the
+// workload is `remaining` blocked products of width k rather than lone
+// SpMVs, so each candidate is billed conv + perColumn(f)·k·remaining and
+// the stay-on-CSR baseline is CSR's own blocked per-column cost (not the
+// definitional 1 — blocked CSR already amortizes matrix traffic). Formats
+// in cached charge zero conversion, exactly like DecideOverlapCached. The
+// overlap budget is in calls; iterations covering a hidden conversion run
+// at blocked-CSR speed (see overlapCostScaled). Falls back to FmtCSR when
+// the bundle predates SpMM models.
+func (p *Predictors) DecideSpMM(s *features.Set, bsrBlocks, k int, remaining, overlap float64, lim sparse.Limits, margin float64, cached map[sparse.Format]bool) Decision {
+	x := s.Vector()
+	kk := float64(k)
+	csrPerCall := kk // k lone SpMVs, when no model says better
+	if m := p.SpMMTime[sparse.FmtCSR]; m != nil {
+		if v := m.Predict(x); v > 0 {
+			csrPerCall = v * kk
+		}
+	}
+	d := Decision{
+		Format:        sparse.FmtCSR,
+		PredictedCost: map[sparse.Format]float64{sparse.FmtCSR: csrPerCall * remaining},
+		PredictedSpMV: map[sparse.Format]float64{sparse.FmtCSR: csrPerCall},
+		PredictedConv: map[sparse.Format]float64{sparse.FmtCSR: 0},
+		Remaining:     remaining,
+	}
+	best := csrPerCall * remaining * (1 - margin)
+	for _, f := range sparse.AllFormats {
+		if f == sparse.FmtCSR {
+			continue
+		}
+		if p.SpMMTime[f] == nil || p.ConvTime[f] == nil {
+			continue
+		}
+		if !formatValid(f, s, bsrBlocks, lim) {
+			continue
+		}
+		conv := p.ConvTime[f].Predict(x)
+		perCol := p.SpMMTime[f].Predict(x)
+		if conv < 0 {
+			conv = 0
+		}
+		if perCol < 0 {
+			perCol = 0
+		}
+		if cached[f] {
+			conv = 0
+		}
+		perCall := perCol * kk
+		cost := overlapCostScaled(conv, csrPerCall, perCall, remaining, overlap)
+		d.PredictedCost[f] = cost
+		d.PredictedSpMV[f] = perCall
+		d.PredictedConv[f] = conv
+		if cost < best {
+			best = cost
+			d.Format = f
+		}
+	}
+	return d
+}
+
+// overlapCostScaled generalizes overlapCost to calls that do not cost 1
+// CSR-SpMV unit each: oldPerCall is the per-call cost while still on CSR,
+// newPerCall after conversion, conv the conversion bill, overlap the budget
+// in calls. h calls elapse while the conversion hides (at most conv /
+// oldPerCall of them fit inside the conversion window), each billed at old
+// speed; the residual conversion time stalls; the rest run converted. With
+// oldPerCall = 1 this is overlapCost exactly.
+func overlapCostScaled(conv, oldPerCall, newPerCall, remaining, overlap float64) float64 {
+	h := remaining
+	if overlap < h {
+		h = overlap
+	}
+	if oldPerCall > 0 {
+		if c := conv / oldPerCall; c < h {
+			h = c
+		}
+	}
+	return (conv - h*oldPerCall) + h*oldPerCall + (remaining-h)*newPerCall
 }
 
 // OracleDecide is the oracle ("upper bound") variant of Decide used by the

@@ -184,6 +184,10 @@ type DecisionTrace struct {
 	Chosen string `json:"chosen"`
 	// Converted reports whether the matrix was actually re-formatted.
 	Converted bool `json:"converted"`
+	// ConvCacheHit reports the converted matrix was adopted from the shared
+	// conversion cache (another tenant paid T_convert); the publisher's bill
+	// shows up in the ledger as hidden seconds, not paid ones.
+	ConvCacheHit bool `json:"convcache_hit,omitempty"`
 	// ConvertErr is set when the conversion itself failed (CSR fallback).
 	ConvertErr string `json:"convert_err,omitempty"`
 

@@ -156,7 +156,13 @@ func (l *Loop) ingestLocked(tr obs.DecisionTrace) {
 			// and the conversion the wrapper timed. Normalize by the
 			// self-measured baseline, exactly as the offline oracle does.
 			s.SpMVNorm[f] = led.RealizedSpMVSeconds / led.BaselineSpMVSeconds
-			s.ConvNorm[f] = tr.ConvertSeconds / led.BaselineSpMVSeconds
+			// A conversion-cache hit performed no conversion on this handle
+			// (ConvertSeconds is 0 by construction, the publisher paid the
+			// bill) — feeding that 0 in as a timing would teach the trainer
+			// that conversion is free. Keep only genuinely measured costs.
+			if !tr.ConvCacheHit {
+				s.ConvNorm[f] = tr.ConvertSeconds / led.BaselineSpMVSeconds
+			}
 		}
 	}
 	l.samples = append(l.samples, s)

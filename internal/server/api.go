@@ -68,6 +68,13 @@ type SelectorStats struct {
 	Canceled      bool    `json:"canceled,omitempty"`
 	PaidSeconds   float64 `json:"paid_seconds,omitempty"`
 	HiddenSeconds float64 `json:"hidden_seconds,omitempty"`
+	// SpMMCalls counts blocked multi-vector products served by this handle;
+	// when they dominate, the selector prices candidates with the SpMM menu.
+	SpMMCalls int64 `json:"spmm_calls,omitempty"`
+	// ConvCacheHit reports that stage 2 adopted a conversion published by an
+	// earlier tenant: convert_seconds stays 0 and the publisher's bill
+	// appears under hidden_seconds.
+	ConvCacheHit bool `json:"convcache_hit,omitempty"`
 }
 
 func selectorStats(st core.Stats) SelectorStats {
@@ -87,6 +94,8 @@ func selectorStats(st core.Stats) SelectorStats {
 		Canceled:       st.Canceled,
 		PaidSeconds:    st.PaidSeconds,
 		HiddenSeconds:  st.HiddenSeconds,
+		SpMMCalls:      st.SpMMCalls,
+		ConvCacheHit:   st.ConvCacheHit,
 	}
 }
 
@@ -106,9 +115,17 @@ type MatrixInfo struct {
 	Selector   SelectorStats `json:"selector"`
 	// Fingerprint is the deterministic hash of the matrix structure
 	// (dims/indptr/indices, not values) — stable across processes and worker
-	// counts, so a router can detect duplicate uploads and future layers can
-	// dedupe or cache conversions keyed on it.
+	// counts. Together with ValueDigest it keys the registry's dedup store
+	// and the cross-handle conversion cache.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// ValueDigest hashes the numeric values (IEEE-754 bit patterns), the
+	// other half of the dedup/cache identity.
+	ValueDigest string `json:"value_digest,omitempty"`
+	// DuplicateOf names the earlier handle this registration aliases: the
+	// two share one resident CSR copy, the duplicate charged zero nnz
+	// against the registry budget, and any conversion either pays is
+	// published for both.
+	DuplicateOf string `json:"duplicate_of,omitempty"`
 	// TraceID addresses this handle's decision trace in the journal
 	// (GET /v1/trace/{matrix-id} resolves it); 0 until the pipeline runs.
 	TraceID uint64 `json:"trace_id,omitempty"`
@@ -144,6 +161,30 @@ type SpMVRequest struct {
 // SpMVResponse returns y = A*x for each input vector, in order.
 type SpMVResponse struct {
 	Y      [][]float64 `json:"y"`
+	Format string      `json:"format"`
+}
+
+// SpMMRequest is the body of POST /v1/matrices/{id}/spmm: k vectors
+// multiplied in one blocked pass (Y = A*X), amortizing each matrix traversal
+// across all k columns instead of issuing k separate SpMV calls.
+type SpMMRequest struct {
+	// X holds the k input vectors, each of length cols. The server packs
+	// them into a row-major panel for the blocked kernels.
+	X [][]float64 `json:"x"`
+	// RowLo/RowHi restrict the returned product rows to [RowLo, RowHi), the
+	// shard-side half of distributed SpMM (see SpMVRequest). Both zero
+	// means all rows.
+	RowLo int `json:"row_lo,omitempty"`
+	RowHi int `json:"row_hi,omitempty"`
+	// Progress feeds the caller's loop-progress indicator to this shard's
+	// selector before computing (see SpMVRequest.Progress).
+	Progress *float64 `json:"progress,omitempty"`
+}
+
+// SpMMResponse returns the k product vectors, in input order.
+type SpMMResponse struct {
+	Y      [][]float64 `json:"y"`
+	K      int         `json:"k"`
 	Format string      `json:"format"`
 }
 

@@ -117,8 +117,12 @@ func TestEvictionUnderConcurrentSolve(t *testing.T) {
 	var evicted []string
 	for r := 0; r < 3; r++ {
 		var info MatrixInfo
+		// Distinct grid sizes per usurper: registering the same matrix again
+		// would dedup-alias the resident copy (zero nnz charged) and never
+		// apply eviction pressure.
+		uspec := &GenerateSpec{Family: "stencil2d", Size: []int{1681, 1764, 1849}[r]}
 		code, body := call(t, "POST", ts.URL+"/v1/matrices",
-			RegisterRequest{Name: "usurper", Generate: spec}, &info)
+			RegisterRequest{Name: "usurper", Generate: uspec}, &info)
 		if code != http.StatusCreated {
 			t.Fatalf("replacement register %d: status %d body %s", r, code, body)
 		}

@@ -28,6 +28,8 @@ type Metrics struct {
 	// Work admitted through the pool.
 	SpMVRequests  atomic.Int64 // spmv endpoint calls
 	SpMVVectors   atomic.Int64 // individual x-vectors multiplied
+	SpMMRequests  atomic.Int64 // spmm endpoint calls (blocked multi-vector products)
+	SpMMColumns   atomic.Int64 // columns multiplied through the spmm endpoint
 	SolveRequests atomic.Int64 // solve endpoint calls
 	SolveIters    atomic.Int64 // solver iterations executed server-side
 	SolveSpMVs    atomic.Int64 // exact solver-issued SpMV calls (apps.Result.SpMVs)
@@ -52,12 +54,19 @@ type Metrics struct {
 	RegistryBytes    atomic.Int64
 	Evictions        atomic.Int64
 
+	// Dedup store activity: registrations that aliased a resident identical
+	// matrix instead of storing a second copy, and the nonzeros that
+	// aliasing kept out of the nnz budget.
+	DedupHits     atomic.Int64
+	DedupSavedNNZ atomic.Int64
+
 	// Latency histograms (seconds). SpMVSeconds and SolveSeconds time whole
 	// requests' compute (inside the pool slot); QueueWaitSeconds times the
 	// admission wait for a slot; the last three are the selector's measured
 	// stage-2 overheads (the paper's T_predict split in two, plus
 	// T_convert), observed once per handle when its pipeline runs.
 	SpMVSeconds      *obs.Histogram
+	SpMMSeconds      *obs.Histogram
 	SolveSeconds     *obs.Histogram
 	QueueWaitSeconds *obs.Histogram
 	FeatureSeconds   *obs.Histogram
@@ -69,6 +78,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		SpMVSeconds:      obs.NewLatencyHistogram(),
+		SpMMSeconds:      obs.NewLatencyHistogram(),
 		SolveSeconds:     obs.NewLatencyHistogram(),
 		QueueWaitSeconds: obs.NewLatencyHistogram(),
 		FeatureSeconds:   obs.NewLatencyHistogram(),
@@ -100,6 +110,8 @@ func (m *Metrics) Snapshot() map[string]any {
 		"in_flight":           m.InFlight.Load(),
 		"spmv_requests":       m.SpMVRequests.Load(),
 		"spmv_vectors":        m.SpMVVectors.Load(),
+		"spmm_requests":       m.SpMMRequests.Load(),
+		"spmm_columns":        m.SpMMColumns.Load(),
 		"solve_requests":      m.SolveRequests.Load(),
 		"solve_iterations":    m.SolveIters.Load(),
 		"solve_spmv_calls":    m.SolveSpMVs.Load(),
@@ -112,6 +124,8 @@ func (m *Metrics) Snapshot() map[string]any {
 		"registry_nnz":        m.RegistryNNZ.Load(),
 		"registry_bytes":      m.RegistryBytes.Load(),
 		"evictions":           m.Evictions.Load(),
+		"dedup_hits":          m.DedupHits.Load(),
+		"dedup_saved_nnz":     m.DedupSavedNNZ.Load(),
 		"runtime":             runtimeSnapshot(),
 	}
 	hists := map[string]any{}
@@ -132,6 +146,7 @@ func (m *Metrics) Snapshot() map[string]any {
 func (m *Metrics) histograms() map[string]*obs.Histogram {
 	return map[string]*obs.Histogram{
 		"spmv_seconds":       m.SpMVSeconds,
+		"spmm_seconds":       m.SpMMSeconds,
 		"solve_seconds":      m.SolveSeconds,
 		"queue_wait_seconds": m.QueueWaitSeconds,
 		"feature_seconds":    m.FeatureSeconds,
@@ -143,6 +158,7 @@ func (m *Metrics) histograms() map[string]*obs.Histogram {
 // histogramHelp documents each histogram family for the exposition.
 var histogramHelp = map[string]string{
 	"spmv_seconds":       "Compute time of /v1 spmv requests inside their pool slot.",
+	"spmm_seconds":       "Compute time of /v1 spmm requests inside their pool slot.",
 	"solve_seconds":      "Compute time of /v1 solve requests inside their pool slot.",
 	"queue_wait_seconds": "Time requests waited for a pool slot before computing.",
 	"feature_seconds":    "Selector stage-2 feature extraction time per pipeline run (part of T_predict).",
@@ -159,6 +175,8 @@ func (m *Metrics) Families(team *parallel.Team, extra ...obs.Family) []obs.Famil
 		obs.ScalarFamily("ocsd_in_flight_requests", "/v1 requests currently being served.", obs.KindGauge, float64(m.InFlight.Load())),
 		obs.ScalarFamily("ocsd_spmv_requests_total", "Calls to the spmv endpoint.", obs.KindCounter, float64(m.SpMVRequests.Load())),
 		obs.ScalarFamily("ocsd_spmv_vectors_total", "Individual x-vectors multiplied by the spmv endpoint.", obs.KindCounter, float64(m.SpMVVectors.Load())),
+		obs.ScalarFamily("ocsd_spmm_requests_total", "Calls to the spmm endpoint (blocked multi-vector products).", obs.KindCounter, float64(m.SpMMRequests.Load())),
+		obs.ScalarFamily("ocsd_spmm_columns_total", "Columns multiplied through the spmm endpoint.", obs.KindCounter, float64(m.SpMMColumns.Load())),
 		obs.ScalarFamily("ocsd_solve_requests_total", "Calls to the solve endpoint.", obs.KindCounter, float64(m.SolveRequests.Load())),
 		obs.ScalarFamily("ocsd_solve_iterations_total", "Solver iterations executed server-side.", obs.KindCounter, float64(m.SolveIters.Load())),
 		obs.ScalarFamily("ocsd_solve_spmv_calls_total", "Exact SpMV calls issued by server-side solvers (2/iter for BiCGSTAB, 1 per Arnoldi step + 1 per restart for GMRES).", obs.KindCounter, float64(m.SolveSpMVs.Load())),
@@ -170,6 +188,8 @@ func (m *Metrics) Families(team *parallel.Team, extra ...obs.Family) []obs.Famil
 		obs.ScalarFamily("ocsd_registry_nnz", "Total nonzeros currently stored.", obs.KindGauge, float64(m.RegistryNNZ.Load())),
 		obs.ScalarFamily("ocsd_registry_bytes", "Approximate bytes of matrix storage resident.", obs.KindGauge, float64(m.RegistryBytes.Load())),
 		obs.ScalarFamily("ocsd_evictions_total", "Handles evicted to make room in the registry.", obs.KindCounter, float64(m.Evictions.Load())),
+		obs.ScalarFamily("ocsd_dedup_hits_total", "Registrations that aliased a resident identical matrix.", obs.KindCounter, float64(m.DedupHits.Load())),
+		obs.ScalarFamily("ocsd_dedup_saved_nnz_total", "Nonzeros kept out of the nnz budget by handle dedup.", obs.KindCounter, float64(m.DedupSavedNNZ.Load())),
 	}
 
 	byFormat := obs.Family{
@@ -190,7 +210,7 @@ func (m *Metrics) Families(team *parallel.Team, extra ...obs.Family) []obs.Famil
 
 	// Histograms, in a fixed order (map iteration would shuffle them).
 	for _, name := range []string{
-		"spmv_seconds", "solve_seconds", "queue_wait_seconds",
+		"spmv_seconds", "spmm_seconds", "solve_seconds", "queue_wait_seconds",
 		"feature_seconds", "predict_seconds", "convert_seconds",
 	} {
 		h := m.histograms()[name]

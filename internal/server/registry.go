@@ -27,6 +27,15 @@ type Handle struct {
 	// Fingerprint hashes the matrix structure (sparse.CSR.Fingerprint),
 	// computed once at registration.
 	Fingerprint string
+	// ValueDigest hashes the numeric values (sparse.CSR.ValueDigest);
+	// together with Fingerprint it identifies the matrix exactly, and the
+	// pair keys both registry dedup and the conversion cache.
+	ValueDigest string
+	// AliasOf is the ID of the previously registered handle whose CSR
+	// storage this handle shares (registration detected an identical
+	// matrix); empty for an original. Aliases charge nothing against the
+	// registry's nnz budget.
+	AliasOf string
 
 	// SA is the selector state; safe for concurrent use.
 	SA *core.SafeAdaptive
@@ -111,16 +120,40 @@ func (h *Handle) Usage() (spmvCalls, solveCalls int64) {
 	return h.spmvCalls, h.solveCalls
 }
 
+// dedupKey is the identity handles are deduplicated on: structure AND
+// values. Empty when either hash is missing (handles built outside the
+// register path), which opts the handle out of dedup entirely.
+func (h *Handle) dedupKey() string {
+	if h.Fingerprint == "" || h.ValueDigest == "" {
+		return ""
+	}
+	return h.Fingerprint + "|" + h.ValueDigest
+}
+
+// dedupGroup tracks the handles sharing one backing matrix. Exactly one
+// member — chargedID — is billed for the group's nnz/bytes; deleting it
+// transfers the charge to a survivor (the storage is still resident), and
+// only the last member's departure releases capacity.
+type dedupGroup struct {
+	members   map[string]*Handle
+	chargedID string
+	nnz       int64
+	bytes     int64
+}
+
 // Registry owns the registered matrices. Capacity is bounded by total nnz
 // across all handles (nnz is proportional to resident bytes for CSR); when
 // an insert would exceed the bound, least-recently-used handles are evicted
-// until it fits. Every lookup refreshes recency.
+// until it fits. Every lookup refreshes recency. Handles whose structure and
+// values match an already registered matrix are deduplicated: they share the
+// resident CSR arrays and charge nothing further against the budget.
 type Registry struct {
 	mu      sync.Mutex
 	maxNNZ  int64
 	curNNZ  int64
 	entries map[string]*regEntry
-	lru     *list.List // front = most recently used; values are *Handle
+	groups  map[string]*dedupGroup // dedupKey -> group, only keyed handles
+	lru     *list.List             // front = most recently used; values are *Handle
 	nextID  int64
 	metrics *Metrics
 }
@@ -138,18 +171,60 @@ func NewRegistry(maxNNZ int64, m *Metrics) *Registry {
 	return &Registry{
 		maxNNZ:  maxNNZ,
 		entries: make(map[string]*regEntry),
+		groups:  make(map[string]*dedupGroup),
 		lru:     list.New(),
 		metrics: m,
 	}
 }
 
-// Add registers a handle, assigning it a fresh ID, evicting LRU handles as
-// needed. It fails if the matrix alone exceeds the registry bound. Returns
-// the IDs evicted to make room.
-func (r *Registry) Add(h *Handle) (evicted []string, err error) {
-	nnz := int64(h.NNZ)
+// FindDuplicate returns a resident handle with the given structure
+// fingerprint and value digest, preferring the member currently charged for
+// the group (its CSR is the canonical shared copy). The register path calls
+// it before building a wrapper so a duplicate upload aliases the resident
+// arrays instead of keeping a second copy alive.
+func (r *Registry) FindDuplicate(fp, vd string) (*Handle, bool) {
+	if fp == "" || vd == "" {
+		return nil, false
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	g := r.groups[fp+"|"+vd]
+	if g == nil || len(g.members) == 0 {
+		return nil, false
+	}
+	if h := g.members[g.chargedID]; h != nil {
+		return h, true
+	}
+	for _, h := range g.members {
+		return h, true
+	}
+	return nil, false
+}
+
+// Add registers a handle, assigning it a fresh ID, evicting LRU handles as
+// needed. It fails if the matrix alone exceeds the registry bound. Returns
+// the IDs evicted to make room. A handle whose (fingerprint, value digest)
+// matches a resident group joins it as an alias: zero nnz charged, no
+// eviction pressure, AliasOf filled in when the caller has not already.
+func (r *Registry) Add(h *Handle) (evicted []string, err error) {
+	nnz := int64(h.NNZ)
+	key := h.dedupKey()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.groups[key]
+	if key != "" && g != nil && len(g.members) > 0 {
+		r.nextID++
+		h.ID = fmt.Sprintf("m%d", r.nextID)
+		if h.AliasOf == "" {
+			h.AliasOf = g.chargedID
+		}
+		g.members[h.ID] = h
+		r.entries[h.ID] = &regEntry{h: h, elem: r.lru.PushFront(h)}
+		r.metrics.RegistryMatrices.Add(1)
+		r.metrics.DedupHits.Add(1)
+		r.metrics.DedupSavedNNZ.Add(nnz)
+		return nil, nil
+	}
 	if nnz > r.maxNNZ {
 		return nil, fmt.Errorf("server: matrix has %d nonzeros, registry capacity is %d", nnz, r.maxNNZ)
 	}
@@ -166,6 +241,14 @@ func (r *Registry) Add(h *Handle) (evicted []string, err error) {
 	r.nextID++
 	h.ID = fmt.Sprintf("m%d", r.nextID)
 	r.entries[h.ID] = &regEntry{h: h, elem: r.lru.PushFront(h)}
+	if key != "" {
+		r.groups[key] = &dedupGroup{
+			members:   map[string]*Handle{h.ID: h},
+			chargedID: h.ID,
+			nnz:       nnz,
+			bytes:     h.csr.Bytes(),
+		}
+	}
 	r.curNNZ += nnz
 	r.metrics.RegistryMatrices.Add(1)
 	r.metrics.RegistryNNZ.Add(nnz)
@@ -197,7 +280,10 @@ func (r *Registry) Delete(id string) bool {
 }
 
 // removeLocked unlinks an entry and updates occupancy metrics. Caller holds
-// r.mu and has verified the ID exists.
+// r.mu and has verified the ID exists. For deduplicated handles, removing
+// the charged member while aliases survive transfers the charge (the shared
+// arrays are still resident); only the group's last member releases
+// capacity.
 func (r *Registry) removeLocked(id string) {
 	e := r.entries[id]
 	// Abandon any in-flight background conversion: a deleted or evicted
@@ -207,8 +293,25 @@ func (r *Registry) removeLocked(id string) {
 	e.h.SA.Close()
 	r.lru.Remove(e.elem)
 	delete(r.entries, id)
-	r.curNNZ -= int64(e.h.NNZ)
 	r.metrics.RegistryMatrices.Add(-1)
+	if key := e.h.dedupKey(); key != "" {
+		if g := r.groups[key]; g != nil {
+			delete(g.members, id)
+			if len(g.members) == 0 {
+				delete(r.groups, key)
+				r.curNNZ -= g.nnz
+				r.metrics.RegistryNNZ.Add(-g.nnz)
+				r.metrics.RegistryBytes.Add(-g.bytes)
+			} else if g.chargedID == id {
+				for mid := range g.members {
+					g.chargedID = mid
+					break
+				}
+			}
+			return
+		}
+	}
+	r.curNNZ -= int64(e.h.NNZ)
 	r.metrics.RegistryNNZ.Add(-int64(e.h.NNZ))
 	r.metrics.RegistryBytes.Add(-e.h.csr.Bytes())
 }

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/convcache"
 	"repro/internal/core"
 	"repro/internal/matgen"
 	"repro/internal/mmio"
@@ -65,6 +66,11 @@ type Config struct {
 	DefaultTol float64
 	// MaxBodyBytes bounds request bodies (default 64 MB).
 	MaxBodyBytes int64
+	// ConvCacheNNZ bounds the cross-handle conversion cache's total stored
+	// nonzeros (default half of MaxRegistryNNZ; negative disables the
+	// cache). Converted operators published here are adopted by later
+	// handles over the same matrix with zero residual conversion cost.
+	ConvCacheNNZ int64
 	// Preds is the trained stage-2 predictor bundle; nil runs stage 1 only
 	// (matrices then never convert, but tripcount stats still accumulate).
 	Preds *core.Predictors
@@ -108,6 +114,7 @@ func DefaultSLOs() []obs.Objective {
 	return []obs.Objective{
 		{Endpoint: "register", LatencyTarget: 2, Target: 0.99},
 		{Endpoint: "spmv", LatencyTarget: 0.25, Target: 0.99},
+		{Endpoint: "spmm", LatencyTarget: 0.25, Target: 0.99},
 		{Endpoint: "solve", LatencyTarget: 5, Target: 0.95},
 	}
 }
@@ -131,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.ConvCacheNNZ == 0 {
+		c.ConvCacheNNZ = c.MaxRegistryNNZ / 2
+	}
 	return c
 }
 
@@ -149,6 +159,9 @@ type Server struct {
 	tracer *obs.Tracer
 	slo    *obs.SLOTracker
 	slow   *obs.SlowTraces
+	// convCache is the cross-handle conversion cache every handle's
+	// selector consults and publishes into; nil when disabled.
+	convCache *convcache.Cache
 	// preds is the live stage-2 predictor bundle new handles are built
 	// with. It is an atomic pointer — not cfg.Preds read directly — because
 	// the online retrainer hot-swaps whole bundles while registrations are
@@ -201,6 +214,9 @@ func New(cfg Config) *Server {
 		slow:    obs.NewSlowTraces(cfg.SlowTraceCount),
 		idle:    make(chan struct{}),
 	}
+	if cfg.ConvCacheNNZ > 0 {
+		s.convCache = convcache.New(cfg.ConvCacheNNZ)
+	}
 	if cfg.Preds != nil {
 		s.preds.Store(cfg.Preds)
 	}
@@ -220,6 +236,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("GET /v1/matrices/{id}/export", s.track("export", s.handleExport))
 	s.mux.Handle("DELETE /v1/matrices/{id}", s.track("delete", s.handleDelete))
 	s.mux.Handle("POST /v1/matrices/{id}/spmv", s.track("spmv", s.handleSpMV))
+	s.mux.Handle("POST /v1/matrices/{id}/spmm", s.track("spmm", s.handleSpMM))
 	s.mux.Handle("POST /v1/matrices/{id}/solve", s.track("solve", s.handleSolve))
 	s.mux.Handle("GET /v1/trace/{id}", s.track("trace", s.handleTrace))
 	if cfg.EnablePprof {
@@ -483,6 +500,8 @@ func (s *Server) info(h *Handle) MatrixInfo {
 		SolveCalls:  solve,
 		Selector:    selectorStats(h.SA.Stats()),
 		Fingerprint: h.Fingerprint,
+		ValueDigest: h.ValueDigest,
+		DuplicateOf: h.AliasOf,
 	}
 }
 
@@ -508,6 +527,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			// finds fewer idle workers), the intended behavior under load.
 			snap["parallel_team"] = s.team.Stats()
 		}
+		if s.convCache != nil {
+			snap["convcache"] = s.convCache.Snapshot()
+		}
 		s.writeJSON(w, http.StatusOK, snap)
 		return
 	}
@@ -515,6 +537,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	extra := []obs.Family{
 		obs.ScalarFamily("ocsd_decision_traces", "Decision traces currently held in the journal.", obs.KindGauge, float64(s.journal.Len())),
+	}
+	if s.convCache != nil {
+		cs := s.convCache.Snapshot()
+		extra = append(extra,
+			obs.ScalarFamily("ocsd_convcache_hits_total", "Conversions adopted from the cross-handle cache.", obs.KindCounter, float64(cs.Hits)),
+			obs.ScalarFamily("ocsd_convcache_misses_total", "Cache lookups that found no published conversion.", obs.KindCounter, float64(cs.Misses)),
+			obs.ScalarFamily("ocsd_convcache_publishes_total", "Conversions published into the cross-handle cache.", obs.KindCounter, float64(cs.Publishes)),
+			obs.ScalarFamily("ocsd_convcache_evictions_total", "Cached conversions evicted under the nnz budget.", obs.KindCounter, float64(cs.Evictions)),
+			obs.ScalarFamily("ocsd_convcache_entries", "Conversions currently cached.", obs.KindGauge, float64(cs.Entries)),
+			obs.ScalarFamily("ocsd_convcache_nnz", "Total nonzeros held by the conversion cache.", obs.KindGauge, float64(cs.NNZ)),
+		)
 	}
 	extra = append(extra, s.slo.Families("ocsd")...)
 	if l := s.retrainLoop.Load(); l != nil {
@@ -687,6 +720,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if tol <= 0 {
 		tol = s.cfg.DefaultTol
 	}
+	// Dedup: an identical resident matrix (same structure AND values) lends
+	// its CSR arrays to the new handle, so the duplicate aliases one backing
+	// copy instead of storing a second. The registry charges it zero nnz.
+	fp, vd := csr.Fingerprint(), csr.ValueDigest()
+	var dupOf string
+	if dup, ok := s.reg.FindDuplicate(fp, vd); ok {
+		csr = dup.CSR()
+		dupOf = dup.ID
+	}
 	selCfg := core.DefaultConfig()
 	if s.cfg.Selector != nil {
 		selCfg = *s.cfg.Selector
@@ -705,6 +747,15 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// the shard's span store, parented under whatever request span was
 	// current when the pipeline fired (see SetSpanParent in handleSpMV/Solve).
 	selCfg.SpanSink = s.tracer.Record
+	// Wire the conversion cache: any conversion this handle's pipeline pays
+	// for is published under the matrix identity, and a conversion already
+	// published by an earlier tenant is adopted with zero residual
+	// T_convert — the selector sees cached formats as free to reach.
+	if s.convCache != nil {
+		selCfg.ConvCache = s.convCache
+		selCfg.CacheFingerprint = fp
+		selCfg.CacheValues = vd
+	}
 	ad := core.NewAdaptive(csr, tol, s.Predictors(), selCfg, !s.cfg.SerialKernels)
 	rows, cols := csr.Dims()
 	h := &Handle{
@@ -714,7 +765,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		NNZ:         csr.NNZ(),
 		Tol:         tol,
 		Created:     time.Now(),
-		Fingerprint: csr.Fingerprint(),
+		Fingerprint: fp,
+		ValueDigest: vd,
+		AliasOf:     dupOf,
 		SA:          core.NewSafeAdaptive(ad),
 		csr:         csr,
 		Dangling:    dangling,
@@ -881,6 +934,98 @@ func (s *Server) handleSpMV(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, SpMVResponse{Y: ys, Format: h.SA.Format().String()})
+}
+
+// handleSpMM serves blocked multi-vector products: the k input vectors are
+// packed into one row-major panel and multiplied in a single SpMM pass, so
+// the matrix is traversed once for all k columns instead of k times. The
+// scratch panels come from the vector pool.
+func (s *Server) handleSpMM(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req SpMMRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	k := len(req.X)
+	if k == 0 {
+		s.fail(w, http.StatusBadRequest, "x must hold at least one vector")
+		return
+	}
+	for i, x := range req.X {
+		if len(x) != h.Cols {
+			s.fail(w, http.StatusBadRequest, "x[%d] has length %d, matrix has %d columns", i, len(x), h.Cols)
+			return
+		}
+	}
+	lo, hi := req.RowLo, req.RowHi
+	partial := lo != 0 || hi != 0
+	if partial && (lo < 0 || hi <= lo || hi > h.Rows) {
+		s.fail(w, http.StatusBadRequest, "row range [%d,%d) invalid for %d rows", lo, hi, h.Rows)
+		return
+	}
+	h.SA.SwapPoint()
+	sc, traced := obs.SpanFromContext(r.Context())
+	traceHex := ""
+	if traced {
+		h.SA.SetSpanParent(sc)
+		traceHex = sc.Trace.String()
+	}
+	xbuf := getVec(h.Cols * k)
+	ybuf := getVec(h.Rows * k)
+	defer putVec(xbuf)
+	defer putVec(ybuf)
+	xp, yp := *xbuf, *ybuf
+	// Row-major panel: row j of the operand holds column j of every input
+	// vector, so the blocked kernels stream k-wide contiguous stripes.
+	for i, x := range req.X {
+		for j, v := range x {
+			xp[j*k+i] = v
+		}
+	}
+	waitStart := time.Now()
+	wait := timing.StartStopwatch(nil)
+	err := s.pool.Do(r.Context(), func() error {
+		s.metrics.QueueWaitSeconds.Observe(wait.Seconds())
+		s.recordSpan(sc, "queue.wait", waitStart, wait.Seconds())
+		if req.Progress != nil {
+			h.SA.RecordProgress(*req.Progress)
+		}
+		computeStart := time.Now()
+		compute := timing.StartStopwatch(nil)
+		defer func() {
+			secs := compute.Seconds()
+			s.metrics.SpMMSeconds.ObserveExemplar(secs, traceHex)
+			s.recordSpan(sc, "spmm.compute", computeStart, secs,
+				[2]string{"format", h.SA.Format().String()},
+				[2]string{"k", strconv.Itoa(k)})
+		}()
+		h.SA.SpMM(yp, xp, k)
+		return nil
+	})
+	if err != nil {
+		s.failWork(w, err)
+		return
+	}
+	s.metrics.SpMMRequests.Add(1)
+	s.metrics.SpMMColumns.Add(int64(k))
+	s.metrics.CountSpMV(h.SA.Format(), int64(k))
+	h.countUse(s.metrics, int64(k), 0)
+	rlo, rhi := 0, h.Rows
+	if partial {
+		rlo, rhi = lo, hi
+	}
+	ys := make([][]float64, k)
+	for i := range ys {
+		col := make([]float64, rhi-rlo)
+		for j := rlo; j < rhi; j++ {
+			col[j-rlo] = yp[j*k+i]
+		}
+		ys[i] = col
+	}
+	s.writeJSON(w, http.StatusOK, SpMMResponse{Y: ys, K: k, Format: h.SA.Format().String()})
 }
 
 // failWork maps pool/solver errors to HTTP statuses.

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"math"
 )
 
 // Fingerprint returns a deterministic hash of the matrix *structure* —
@@ -40,6 +41,25 @@ func (m *CSR) Fingerprint() string {
 	for _, c := range m.Col {
 		binary.LittleEndian.PutUint32(buf4[:], uint32(c))
 		h.Write(buf4[:])
+	}
+	sum := h.Sum(nil)
+	return "sha256:" + hex.EncodeToString(sum[:16])
+}
+
+// ValueDigest returns a deterministic hash of the numeric values alone, the
+// complement of Fingerprint: two matrices with equal fingerprints AND equal
+// value digests are the same matrix bit for bit. Dedup layers need both —
+// structure sharing decides conversion-cache keys, but aliasing a *handle*
+// onto shared storage is only sound when the entries match too. Hashing the
+// IEEE-754 bit patterns (not a decimal rendering) keeps the digest exact:
+// +0/-0 and distinct NaN payloads hash differently, which errs on the safe
+// side for aliasing.
+func (m *CSR) ValueDigest() string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
 	}
 	sum := h.Sum(nil)
 	return "sha256:" + hex.EncodeToString(sum[:16])

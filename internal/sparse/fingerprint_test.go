@@ -61,6 +61,28 @@ func TestFingerprintStructureOnly(t *testing.T) {
 	}
 }
 
+// TestValueDigest checks the complement of the structure fingerprint: the
+// digest keys off the numeric values (same structure, different entries →
+// different digest; identical matrices → identical digest), so dedup can
+// require both before aliasing a handle.
+func TestValueDigest(t *testing.T) {
+	a := fpTestMatrix(t, 1.0)
+	b := fpTestMatrix(t, 1.0)
+	if a.ValueDigest() != b.ValueDigest() {
+		t.Errorf("identical matrices digest differently: %s vs %s", a.ValueDigest(), b.ValueDigest())
+	}
+	c := fpTestMatrix(t, -3.5)
+	if a.Fingerprint() != c.Fingerprint() {
+		t.Fatal("test setup: fingerprints should match (same structure)")
+	}
+	if a.ValueDigest() == c.ValueDigest() {
+		t.Error("value digest ignored a value change")
+	}
+	if !strings.HasPrefix(a.ValueDigest(), "sha256:") || len(a.ValueDigest()) != len("sha256:")+32 {
+		t.Errorf("value digest format unexpected: %q", a.ValueDigest())
+	}
+}
+
 // TestFingerprintStableAcrossWorkerCounts pins GOMAXPROCS to 1, 2 and the
 // test maximum, rebuilding the matrix (including a parallel conversion round
 // trip through another format) at each width, and requires the identical

@@ -6,14 +6,68 @@ import (
 	"repro/internal/parallel"
 )
 
-// SpMM computes the sparse-times-dense-block product Y = A * X, where X
-// holds k dense column vectors stored row-major (X[j*k : j*k+k] is row j)
-// and Y is rows x k in the same layout. Row-major blocks keep the k
-// accumulators of one output row in one cache line, which is why blocked
-// SpMM beats k separate SpMV calls — the classic multi-right-hand-side
-// optimization block Krylov methods rely on.
+// SpMMer is implemented by formats that provide a native blocked
+// multi-right-hand-side kernel. Formats without one still serve SpMM
+// through the package-level dispatcher's column-at-a-time fallback, so the
+// interface is an optimization contract, not a capability gate.
+type SpMMer interface {
+	SpMM(y, x []float64, k int)
+	SpMMParallel(y, x []float64, k int)
+}
+
+// SpMM computes the sparse-times-dense-block product Y = A * X for any
+// matrix format, where X holds k dense column vectors stored row-major
+// (X[j*k : j*k+k] is row j) and Y is rows x k in the same layout. Formats
+// with a native blocked kernel (CSR, ELL, SELL, BSR, JDS) run it; the rest
+// fall back to k separate SpMV calls through gathered column scratch, which
+// is correct but forfeits the blocked kernel's matrix-traffic amortization.
+func SpMM(m Matrix, y, x []float64, k int) {
+	if b, ok := m.(SpMMer); ok {
+		b.SpMM(y, x, k)
+		return
+	}
+	spmmColumns(m, y, x, k, false)
+}
+
+// SpMMParallel is SpMM with each format's goroutine-parallel kernel.
+func SpMMParallel(m Matrix, y, x []float64, k int) {
+	if b, ok := m.(SpMMer); ok {
+		b.SpMMParallel(y, x, k)
+		return
+	}
+	spmmColumns(m, y, x, k, true)
+}
+
+// spmmColumns is the generic fallback: column c of X is gathered into
+// contiguous scratch, multiplied with the format's own SpMV kernel, and
+// scattered into Y's row-major block. One x/y scratch pair is reused across
+// all k columns.
+func spmmColumns(m Matrix, y, x []float64, k int, par bool) {
+	rows, cols := m.Dims()
+	checkSpMMShape(rows, cols, y, x, k)
+	xc := make([]float64, cols)
+	yc := make([]float64, rows)
+	for c := 0; c < k; c++ {
+		for j := 0; j < cols; j++ {
+			xc[j] = x[j*k+c]
+		}
+		if par {
+			m.SpMVParallel(yc, xc)
+		} else {
+			m.SpMV(yc, xc)
+		}
+		for i := 0; i < rows; i++ {
+			y[i*k+c] = yc[i]
+		}
+	}
+}
+
+// SpMM computes Y = A * X with X and Y row-major rows x k blocks. Row-major
+// blocks keep the k accumulators of one output row in one cache line, which
+// is why blocked SpMM beats k separate SpMV calls — the classic
+// multi-right-hand-side optimization block Krylov methods rely on.
 func (m *CSR) SpMM(y, x []float64, k int) {
-	m.checkSpMMDims(y, x, k)
+	checkSpMMShape(m.rows, m.cols, y, x, k)
 	for i := 0; i < m.rows; i++ {
 		yRow := y[i*k : (i+1)*k]
 		for c := range yRow {
@@ -31,7 +85,7 @@ func (m *CSR) SpMM(y, x []float64, k int) {
 
 // SpMMParallel is SpMM over nnz-balanced row chunks.
 func (m *CSR) SpMMParallel(y, x []float64, k int) {
-	m.checkSpMMDims(y, x, k)
+	checkSpMMShape(m.rows, m.cols, y, x, k)
 	if len(m.rowRanges) <= 1 || m.NNZ()*k < parallel.MinParallelWork {
 		m.SpMM(y, x, k)
 		return
@@ -53,14 +107,14 @@ func (m *CSR) SpMMParallel(y, x []float64, k int) {
 	})
 }
 
-func (m *CSR) checkSpMMDims(y, x []float64, k int) {
+func checkSpMMShape(rows, cols int, y, x []float64, k int) {
 	if k <= 0 {
 		panic(fmt.Sprintf("sparse: SpMM block width %d, want > 0", k))
 	}
-	if len(y) != m.rows*k {
-		panic(fmt.Sprintf("sparse: SpMM output length %d, want %d", len(y), m.rows*k))
+	if len(y) != rows*k {
+		panic(fmt.Sprintf("sparse: SpMM output length %d, want %d", len(y), rows*k))
 	}
-	if len(x) != m.cols*k {
-		panic(fmt.Sprintf("sparse: SpMM input length %d, want %d", len(x), m.cols*k))
+	if len(x) != cols*k {
+		panic(fmt.Sprintf("sparse: SpMM input length %d, want %d", len(x), cols*k))
 	}
 }

@@ -44,6 +44,48 @@ func TestSpMMParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestSpMMCrossFormat checks every format's SpMM (native blocked kernel or
+// the dispatcher's column fallback) against the CSR reference, serial and
+// parallel, at a couple of block widths.
+func TestSpMMCrossFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*CSR{
+		randCSR(t, rng, 300, 250, 0.04),
+		randCSR(t, rng, 257, 257, 0.02), // odd dims: exercises BSR/SELL edge clamps
+	}
+	for ci, a := range cases {
+		rows, cols := a.Dims()
+		for _, k := range []int{1, 3, 8} {
+			x := randVec(rng, cols*k)
+			want := make([]float64, rows*k)
+			a.SpMM(want, x, k)
+			for _, f := range AllFormats {
+				if f == FmtCSR {
+					continue
+				}
+				m, err := ConvertFromCSR(a, f, DefaultLimits)
+				if err != nil {
+					continue // format inapplicable to this structure
+				}
+				got := make([]float64, rows*k)
+				SpMM(m, got, x, k)
+				for i := range want {
+					if d := got[i] - want[i]; d > 1e-9 || d < -1e-9 {
+						t.Fatalf("case %d %s k=%d serial: element %d: %g vs %g", ci, f, k, i, got[i], want[i])
+					}
+				}
+				gotPar := make([]float64, rows*k)
+				SpMMParallel(m, gotPar, x, k)
+				for i := range got {
+					if gotPar[i] != got[i] {
+						t.Fatalf("case %d %s k=%d parallel diverges at %d: %g vs %g", ci, f, k, i, gotPar[i], got[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestSpMMValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	a := randCSR(t, rng, 10, 8, 0.3)

@@ -32,9 +32,19 @@ type Sample struct {
 	// SpMVNorm[f] = T_spmv(f) / CSRTime, present only for valid formats.
 	// CSR is always present with a value near 1.
 	SpMVNorm map[sparse.Format]float64
+	// SpMMNorm[f] = T_spmm(f, SpMMRefK) / (CSRTime * SpMMRefK): the
+	// per-column cost of a blocked multi-vector product in CSR-SpMV units.
+	// Present (including for CSR itself, whose blocked kernel beats k lone
+	// SpMVs) only when the oracle implements timing.SpMMOracle.
+	SpMMNorm map[sparse.Format]float64
 	// FeatureNorm = T_featureExtraction / CSRTime, the T_predict component.
 	FeatureNorm float64
 }
+
+// SpMMRefK is the block width the SpMM targets are measured at. The
+// per-column normalization makes the trained model usable at other widths:
+// amortization varies slowly past a handful of columns.
+const SpMMRefK = 8
 
 // Collect measures (or models, depending on the oracle) every corpus entry.
 // Matrices whose CSR SpMV time comes back non-positive are skipped.
@@ -67,6 +77,14 @@ func CollectOne(name string, m *sparse.CSR, oracle timing.Oracle) (Sample, error
 		SpMVNorm: map[sparse.Format]float64{sparse.FmtCSR: 1},
 	}
 	s.FeatureNorm = oracle.FeatureTime(m) / csrTime
+	spmmOracle, _ := oracle.(timing.SpMMOracle)
+	if spmmOracle != nil {
+		if t, ok := spmmOracle.SpMMTime(m, sparse.FmtCSR, SpMMRefK); ok && t > 0 {
+			s.SpMMNorm = map[sparse.Format]float64{
+				sparse.FmtCSR: t / (csrTime * SpMMRefK),
+			}
+		}
+	}
 	for _, f := range sparse.AllFormats {
 		if f == sparse.FmtCSR {
 			continue
@@ -78,6 +96,11 @@ func CollectOne(name string, m *sparse.CSR, oracle timing.Oracle) (Sample, error
 		}
 		s.ConvNorm[f] = conv / csrTime
 		s.SpMVNorm[f] = spmv / csrTime
+		if s.SpMMNorm != nil {
+			if t, ok := spmmOracle.SpMMTime(m, f, SpMMRefK); ok && t > 0 {
+				s.SpMMNorm[f] = t / (csrTime * SpMMRefK)
+			}
+		}
 	}
 	return s, nil
 }
@@ -112,6 +135,25 @@ func Datasets(samples []Sample) (conv, spmv map[sparse.Format]*gbt.Dataset) {
 	return conv, spmv
 }
 
+// spmmDatasets extracts the per-format SpMM training sets (CSR included —
+// the blocked CSR kernel's per-column cost is itself a learned quantity).
+func spmmDatasets(samples []Sample) map[sparse.Format]*gbt.Dataset {
+	out := make(map[sparse.Format]*gbt.Dataset)
+	for _, f := range sparse.AllFormats {
+		d := &gbt.Dataset{}
+		for _, smp := range samples {
+			if v, ok := smp.SpMMNorm[f]; ok {
+				d.X = append(d.X, smp.Features)
+				d.Y = append(d.Y, v)
+			}
+		}
+		if len(d.Y) > 0 {
+			out[f] = d
+		}
+	}
+	return out
+}
+
 // Train fits the full predictor bundle. Formats with fewer than minSamples
 // valid matrices are skipped (the selector then never picks them), matching
 // the paper's "only valid runs are considered".
@@ -142,6 +184,22 @@ func Train(samples []Sample, p gbt.Params, minSamples int) (*core.Predictors, er
 	}
 	if len(preds.ConvTime) == 0 {
 		return nil, fmt.Errorf("trainer: no format had >= %d valid samples", minSamples)
+	}
+	// SpMM models ride along when the oracle answered blocked-product
+	// questions; a format needs its SpMV/conv pair (or to be CSR) so the
+	// menu never prices a format the SpMV selector cannot reach.
+	for f, ds := range spmmDatasets(samples) {
+		if len(ds.Y) < minSamples {
+			continue
+		}
+		if f != sparse.FmtCSR && preds.SpMVTime[f] == nil {
+			continue
+		}
+		mm, err := gbt.Train(ds, nil, p)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: SpMM model for %v: %w", f, err)
+		}
+		preds.SpMMTime[f] = mm
 	}
 	return preds, nil
 }
